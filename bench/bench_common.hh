@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches. Each bench binary
+ * regenerates one table/figure of the paper: same x-axis, same metric,
+ * printed as an aligned text table with the paper's expected band noted.
+ *
+ * Trace length is controlled by TEMPO_BENCH_REFS (default 300000) and
+ * TEMPO_BENCH_REFS_MP (per-app references in multiprogrammed runs,
+ * default 60000) so CI can run quick passes and full runs stay cheap.
+ */
+
+#ifndef TEMPO_BENCH_BENCH_COMMON_HH
+#define TEMPO_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/multi_system.hh"
+#include "core/tempo_system.hh"
+#include "workloads/workload.hh"
+
+namespace tempo::bench {
+
+inline std::uint64_t
+envRefs(const char *name, std::uint64_t fallback)
+{
+    if (const char *value = std::getenv(name)) {
+        const std::uint64_t parsed = std::strtoull(value, nullptr, 10);
+        if (parsed > 0)
+            return parsed;
+    }
+    return fallback;
+}
+
+/** Single-app trace length. */
+inline std::uint64_t
+refs()
+{
+    return envRefs("TEMPO_BENCH_REFS", 300000);
+}
+
+/** Per-app trace length for multiprogrammed mixes. */
+inline std::uint64_t
+refsMultiprogrammed()
+{
+    return envRefs("TEMPO_BENCH_REFS_MP", 60000);
+}
+
+inline void
+header(const char *figure, const char *description, const char *expected)
+{
+    std::printf("==============================================================================\n");
+    std::printf("%s — %s\n", figure, description);
+    std::printf("paper expectation: %s\n", expected);
+    std::printf("==============================================================================\n");
+}
+
+inline void
+footer()
+{
+    std::printf("\n");
+}
+
+inline double
+pct(double fraction)
+{
+    return 100.0 * fraction;
+}
+
+/** Run (baseline, TEMPO) for one workload under a base config. */
+struct Pair {
+    RunResult base;
+    RunResult tempo;
+};
+
+inline Pair
+runPair(const SystemConfig &base_cfg, const std::string &workload,
+        std::uint64_t num_refs)
+{
+    SystemConfig tempo_cfg = base_cfg;
+    tempo_cfg.withTempo(true);
+    return Pair{runWorkload(base_cfg, workload, num_refs),
+                runWorkload(tempo_cfg, workload, num_refs)};
+}
+
+/**
+ * Scale the shared machine for an N-app multiprogrammed run: the LLC
+ * grows with core count (the paper's 32-core part shares a large LLC)
+ * and the memory system gets more channels, keeping per-core cache and
+ * bandwidth shares comparable to the single-app machine.
+ */
+inline SystemConfig
+multiprogMachine(SystemConfig cfg, std::size_t num_apps)
+{
+    cfg.caches.llc.sizeBytes *= num_apps;
+    cfg.dram.channels = 4;
+    return cfg;
+}
+
+/** The multiprogrammed mixes used for the fairness studies (paper
+ * Sec. 6.3: Spec/Parsec applications "with a range of memory
+ * intensities"; we mix big-data, medium, and small apps). */
+inline std::vector<std::vector<std::string>>
+fairnessMixes()
+{
+    return {
+        {"xsbench", "mcf", "lbm.medium", "astar.small", "canneal",
+         "milc.medium", "gcc.small", "hmmer.small"},
+        {"illustris", "graph500", "libquantum.medium", "bzip2.small",
+         "lsh", "lbm.medium", "x264.small", "swaptions.small"},
+    };
+}
+
+/** Weighted-speedup / max-slowdown of one mix under one config. */
+struct FairnessPoint {
+    double weightedSpeedup;
+    double maxSlowdown;
+};
+
+inline FairnessPoint
+runMix(const SystemConfig &cfg, const std::vector<std::string> &names,
+       const std::vector<Cycle> &alone, std::uint64_t refs_per_app)
+{
+    MultiSystem system(cfg, makeMix(names, cfg.seed));
+    const MultiResult result = system.run(refs_per_app);
+    return FairnessPoint{result.weightedSpeedup(alone),
+                         result.maxSlowdown(alone)};
+}
+
+} // namespace tempo::bench
+
+#endif // TEMPO_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 11 (left): where TEMPO-eligible replays are serviced — the LLC
+ * (prefetch landed in time), the DRAM row buffer / an in-flight
+ * prefetch (partial overlap), or the DRAM array (the pathological
+ * unaided tail).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace tempo;
+    using namespace tempo::bench;
+
+    header("Figure 11 (left)",
+           "replay service points under TEMPO",
+           "75%+ of replays serviced from the LLC; most of the rest "
+           "from the row buffer / overlapping prefetch; only a tiny "
+           "unaided tail");
+
+    std::printf("%-10s %8s %18s %10s %10s\n", "workload", "LLC%",
+                "rowbuf+overlap%", "unaided%", "L1/L2%");
+    for (const std::string &name : bigDataWorkloadNames()) {
+        SystemConfig cfg = SystemConfig::skylakeScaled();
+        cfg.withTempo(true);
+        const RunResult result = runWorkload(cfg, name, refs());
+        const CoreStats &core = result.core;
+        const double total =
+            static_cast<double>(core.replayAfterDramWalk);
+        if (total == 0) {
+            std::printf("%-10s (no eligible replays)\n", name.c_str());
+            continue;
+        }
+        std::printf("%-10s %8.1f %18.1f %10.1f %10.1f\n", name.c_str(),
+                    pct(core.replayLlcHits / total),
+                    pct((core.replayRowHits + core.replayMerged)
+                        / total),
+                    pct(core.replayArray / total),
+                    pct(core.replayPrivateHits / total));
+    }
+    footer();
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 14: TEMPO's performance improvement under adaptive, open, and
+ * closed row-buffer management, each normalized to a baseline running
+ * the *same* policy without TEMPO.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace tempo;
+    using namespace tempo::bench;
+
+    header("Figure 14",
+           "TEMPO benefit per row-buffer policy",
+           "TEMPO improves every policy on every workload; exact "
+           "ordering is workload-dependent (canneal likes open rows, "
+           "illustris is best with closed rows)");
+
+    std::printf("%-10s %10s %10s %10s\n", "workload", "adaptive%",
+                "open%", "closed%");
+    for (const std::string &name : bigDataWorkloadNames()) {
+        double benefit[3];
+        int i = 0;
+        for (RowPolicyKind kind :
+             {RowPolicyKind::Adaptive, RowPolicyKind::Open,
+              RowPolicyKind::Closed}) {
+            SystemConfig cfg = SystemConfig::skylakeScaled();
+            cfg.withRowPolicy(kind);
+            const Pair pair = runPair(cfg, name, refs());
+            benefit[i++] = pair.tempo.speedupOver(pair.base);
+        }
+        std::printf("%-10s %10.1f %10.1f %10.1f\n", name.c_str(),
+                    pct(benefit[0]), pct(benefit[1]), pct(benefit[2]));
+    }
+    footer();
+    return 0;
+}

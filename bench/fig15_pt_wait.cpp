@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 15: the PT-row anticipation delay sweep. After serving a page
+ * table access, TEMPO leaves the row open for a few cycles anticipating
+ * more PT requests to the same row (Sec. 4.3a). The paper finds 5-10
+ * cycles gain ~1-4% over wait=0, while 15 cycles starts to hurt by
+ * delaying prefetches and demand accesses.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace tempo;
+    using namespace tempo::bench;
+
+    header("Figure 15",
+           "TEMPO benefit vs PT-row anticipation delay (cycles)",
+           "sweet spot around 10 cycles; 15 no better or slightly "
+           "worse (y-axis is zoomed in the paper: differences are "
+           "single percents)");
+
+    const Cycle waits[] = {0, 5, 10, 15};
+    std::printf("%-10s %8s %8s %8s %8s\n", "workload", "wait0%",
+                "wait5%", "wait10%", "wait15%");
+    for (const std::string &name : bigDataWorkloadNames()) {
+        const SystemConfig base_cfg = SystemConfig::skylakeScaled();
+        const RunResult base = runWorkload(base_cfg, name, refs());
+        std::printf("%-10s", name.c_str());
+        for (const Cycle wait : waits) {
+            SystemConfig cfg = base_cfg;
+            cfg.withTempo(true);
+            cfg.mc.tempoPtRowHold = wait;
+            const RunResult result = runWorkload(cfg, name, refs());
+            std::printf(" %8.2f", pct(result.speedupOver(base)));
+        }
+        std::printf("\n");
+    }
+    footer();
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 16: TEMPO atop the BLISS fairness scheduler on multiprogrammed
+ * mixes. Left: fractional improvement in weighted speedup and maximum
+ * slowdown as a function of the BLISS counter weight charged to TEMPO
+ * prefetches (paper: half the demand weight is best). Right: the same
+ * metrics as a function of the post-prefetch grace period (paper: 15
+ * cycles is best).
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace tempo;
+    using namespace tempo::bench;
+
+    header("Figure 16",
+           "BLISS fairness scheduler x TEMPO",
+           "weighted speedup improves in every configuration; the "
+           "slowest app improves ~10%+; best prefetch weight = half "
+           "of demand (1 vs 2); best grace period ~15 cycles");
+
+    const std::uint64_t per_app = refsMultiprogrammed();
+    const auto mixes = fairnessMixes();
+
+    SystemConfig bliss_cfg =
+        multiprogMachine(SystemConfig::skylakeScaled(), 8);
+    bliss_cfg.withSched(SchedKind::Bliss);
+
+    // Alone runtimes (shared by every configuration of a mix).
+    std::vector<std::vector<Cycle>> alone;
+    std::vector<FairnessPoint> baseline;
+    for (const auto &mix : mixes) {
+        alone.push_back(aloneRuntimes(bliss_cfg, mix, per_app));
+        baseline.push_back(
+            runMix(bliss_cfg, mix, alone.back(), per_app));
+    }
+
+    auto sweep = [&](const char *title, auto config_for,
+                     const std::vector<unsigned> &xs) {
+        std::printf("\n%s\n", title);
+        std::printf("%6s %20s %20s\n", "x", "d-weighted-speedup%",
+                    "d-max-slowdown%");
+        for (const unsigned x : xs) {
+            double ws = 0, slow = 0;
+            for (std::size_t m = 0; m < mixes.size(); ++m) {
+                SystemConfig cfg = config_for(x);
+                const FairnessPoint point =
+                    runMix(cfg, mixes[m], alone[m], per_app);
+                ws += point.weightedSpeedup
+                    / baseline[m].weightedSpeedup - 1.0;
+                slow += 1.0
+                    - point.maxSlowdown / baseline[m].maxSlowdown;
+            }
+            std::printf("%6u %20.2f %20.2f\n", x,
+                        pct(ws / mixes.size()),
+                        pct(slow / mixes.size()));
+        }
+    };
+
+    sweep("left: prefetch counter weight (demand weight = 2)",
+          [&](unsigned weight) {
+              SystemConfig cfg = bliss_cfg;
+              cfg.withTempo(true);
+              cfg.mc.scheduler.blissPrefetchWeight = weight;
+              return cfg;
+          },
+          {0, 1, 2, 3, 4});
+
+    sweep("right: grace period after prefetch (cycles)",
+          [&](unsigned grace) {
+              SystemConfig cfg = bliss_cfg;
+              cfg.withTempo(true);
+              cfg.mc.tempoGracePeriod = grace;
+              return cfg;
+          },
+          {0, 5, 15, 30, 60});
+
+    footer();
+    return 0;
+}

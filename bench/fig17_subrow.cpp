@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 17: sub-row buffers (8 x 1KB per bank, Gulur et al.) under the
+ * FOA and POA allocation policies, sweeping how many sub-rows are
+ * dedicated to TEMPO's post-translation prefetches. The paper finds
+ * that dedicating 2 of 8 is the sweet spot (~15% weighted speedup,
+ * ~20% for the slowest app); dedicating too many starves demand.
+ */
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace tempo;
+    using namespace tempo::bench;
+
+    header("Figure 17",
+           "sub-row buffers: FOA/POA x dedicated prefetch sub-rows",
+           "2 dedicated sub-rows is the sweet spot; more dedication "
+           "deprioritizes demand and degrades");
+
+    const std::uint64_t per_app = refsMultiprogrammed();
+    const auto mixes = fairnessMixes();
+    const unsigned dedications[] = {0, 1, 2, 4, 6};
+
+    for (const SubRowAlloc alloc : {SubRowAlloc::FOA, SubRowAlloc::POA}) {
+        std::printf("\n%s:\n", subRowAllocName(alloc));
+
+        // Baseline: same sub-row organization, no TEMPO.
+        SystemConfig base_cfg =
+            multiprogMachine(SystemConfig::skylakeScaled(), 8);
+        base_cfg.withSubRows(alloc, 0);
+
+        std::vector<std::vector<Cycle>> alone;
+        std::vector<FairnessPoint> baseline;
+        for (const auto &mix : mixes) {
+            alone.push_back(aloneRuntimes(base_cfg, mix, per_app));
+            baseline.push_back(
+                runMix(base_cfg, mix, alone.back(), per_app));
+        }
+
+        std::printf("%12s %20s %20s\n", "dedicated",
+                    "d-weighted-speedup%", "d-max-slowdown%");
+        for (const unsigned dedicated : dedications) {
+            double ws = 0, slow = 0;
+            for (std::size_t m = 0; m < mixes.size(); ++m) {
+                SystemConfig cfg = base_cfg;
+                cfg.withSubRows(alloc, dedicated).withTempo(true);
+                const FairnessPoint point =
+                    runMix(cfg, mixes[m], alone[m], per_app);
+                ws += point.weightedSpeedup
+                    / baseline[m].weightedSpeedup - 1.0;
+                slow += 1.0
+                    - point.maxSlowdown / baseline[m].maxSlowdown;
+            }
+            std::printf("%12u %20.2f %20.2f\n", dedicated,
+                        pct(ws / mixes.size()),
+                        pct(slow / mixes.size()));
+        }
+    }
+    footer();
+    return 0;
+}

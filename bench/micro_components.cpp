@@ -1,0 +1,119 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot components:
+ * useful when modifying the library to check that simulation throughput
+ * has not regressed. These measure the *simulator's* speed, not the
+ * simulated machine's.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/set_assoc.hh"
+#include "common/event_queue.hh"
+#include "common/rng.hh"
+#include "core/tempo_system.hh"
+#include "dram/dram.hh"
+#include "vm/page_table.hh"
+#include "vm/tlb.hh"
+
+namespace {
+
+using namespace tempo;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(static_cast<Cycle>(i * 7 % 500),
+                        [&sink] { ++sink; });
+        eq.runAll();
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_SetAssocCacheLookup(benchmark::State &state)
+{
+    SetAssocCache cache(256 * 1024, 16);
+    Rng rng(1);
+    for (int i = 0; i < 4096; ++i)
+        cache.insert(rng.below(1ull << 30));
+    Rng probe(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.lookup(probe.below(1ull << 30)));
+    }
+}
+BENCHMARK(BM_SetAssocCacheLookup);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    DramDevice dram{DramConfig{}};
+    Rng rng(3);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr addr = rng.below(1ull << 34) & ~(kLineBytes - 1);
+        benchmark::DoNotOptimize(
+            dram.access(addr, false, false, 0, now, 0));
+        now += 8;
+    }
+}
+BENCHMARK(BM_DramAccess);
+
+void
+BM_TlbLookup(benchmark::State &state)
+{
+    Tlb tlb{TlbConfig{}};
+    Rng rng(4);
+    for (int i = 0; i < 2000; ++i)
+        tlb.fill(rng.below(1ull << 36), PageSize::Page4K);
+    Rng probe(5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.lookup(probe.below(1ull << 36)));
+}
+BENCHMARK(BM_TlbLookup);
+
+void
+BM_PageTableWalk(benchmark::State &state)
+{
+    OsMemory os{OsMemoryConfig{}};
+    PageTable table(os);
+    Rng rng(6);
+    std::vector<Addr> vaddrs;
+    for (int i = 0; i < 4096; ++i) {
+        const Addr vaddr = rng.below(1ull << 40) & ~(kPageBytes - 1);
+        if (!table.translate(vaddr).valid) {
+            table.map(vaddr, PageSize::Page4K,
+                      os.allocFrame(PageSize::Page4K));
+        }
+        vaddrs.push_back(vaddr);
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.walk(vaddrs[i]));
+        i = (i + 1) % vaddrs.size();
+    }
+}
+BENCHMARK(BM_PageTableWalk);
+
+void
+BM_SimulatedRefsPerSecond(benchmark::State &state)
+{
+    // End-to-end simulator throughput: simulated references per second.
+    for (auto _ : state) {
+        SystemConfig cfg = SystemConfig::skylakeScaled();
+        TempoSystem system(cfg, makeWorkload("xsbench", 1));
+        benchmark::DoNotOptimize(system.run(10000));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulatedRefsPerSecond)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,158 @@
+#include "cache/set_assoc.hh"
+
+#include "common/log.hh"
+
+namespace tempo {
+
+SetAssocCache::SetAssocCache(Addr size_bytes, unsigned assoc)
+    : sizeBytes_(size_bytes), assoc_(assoc)
+{
+    TEMPO_ASSERT(assoc > 0, "associativity must be positive");
+    const Addr lines = size_bytes / kLineBytes;
+    TEMPO_ASSERT(lines >= assoc, "cache smaller than one set");
+    numSets_ = static_cast<unsigned>(lines / assoc);
+    TEMPO_ASSERT(isPow2(numSets_), "set count must be a power of two: ",
+                 numSets_);
+    lines_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+unsigned
+SetAssocCache::setIndex(Addr addr) const
+{
+    return static_cast<unsigned>((addr / kLineBytes) & (numSets_ - 1));
+}
+
+Addr
+SetAssocCache::tagOf(Addr addr) const
+{
+    return (addr / kLineBytes) / numSets_;
+}
+
+bool
+SetAssocCache::lookup(Addr addr)
+{
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Line &line = lines_[static_cast<std::size_t>(set) * assoc_ + w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = ++tick_;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const Line &line =
+            lines_[static_cast<std::size_t>(set) * assoc_ + w];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+Addr
+SetAssocCache::insert(Addr addr)
+{
+    return insertTracked(addr, false).addr;
+}
+
+SetAssocCache::Victim
+SetAssocCache::insertTracked(Addr addr, bool dirty)
+{
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Line &line = lines_[static_cast<std::size_t>(set) * assoc_ + w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = ++tick_; // already present: refresh
+            line.dirty = line.dirty || dirty;
+            return Victim{};
+        }
+        if (!victim || !line.valid
+            || (victim->valid && line.lastUse < victim->lastUse)) {
+            victim = &line;
+        }
+    }
+    Victim evicted;
+    if (victim->valid) {
+        evicted.addr = (victim->tag * numSets_ + set) * kLineBytes;
+        evicted.dirty = victim->dirty;
+    }
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->tag = tag;
+    victim->lastUse = ++tick_;
+    return evicted;
+}
+
+bool
+SetAssocCache::markDirty(Addr addr)
+{
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Line &line = lines_[static_cast<std::size_t>(set) * assoc_ + w];
+        if (line.valid && line.tag == tag) {
+            line.dirty = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+SetAssocCache::isDirty(Addr addr) const
+{
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const Line &line =
+            lines_[static_cast<std::size_t>(set) * assoc_ + w];
+        if (line.valid && line.tag == tag)
+            return line.dirty;
+    }
+    return false;
+}
+
+void
+SetAssocCache::invalidate(Addr addr)
+{
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Line &line = lines_[static_cast<std::size_t>(set) * assoc_ + w];
+        if (line.valid && line.tag == tag) {
+            line.valid = false;
+            return;
+        }
+    }
+}
+
+void
+SetAssocCache::resetStats()
+{
+    hits_ = 0;
+    misses_ = 0;
+}
+
+void
+SetAssocCache::reset()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+    tick_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace tempo

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A set-associative cache of 64-byte line tags with true-LRU replacement.
+ *
+ * The simulator only needs hit/miss behaviour and victim selection — data
+ * contents are never materialized. Timing is the caller's business.
+ */
+
+#ifndef TEMPO_CACHE_SET_ASSOC_HH
+#define TEMPO_CACHE_SET_ASSOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tempo {
+
+class SetAssocCache
+{
+  public:
+    /**
+     * @param size_bytes total capacity (power of two)
+     * @param assoc ways per set
+     */
+    SetAssocCache(Addr size_bytes, unsigned assoc);
+
+    /** Outcome of insertTracked(): the evicted victim, if any. */
+    struct Victim {
+        Addr addr = kInvalidAddr;
+        bool dirty = false;
+    };
+
+    /** Look up the line holding @p addr; promotes to MRU on hit. */
+    bool lookup(Addr addr);
+
+    /** Mark the line holding @p addr dirty; returns false if absent. */
+    bool markDirty(Addr addr);
+
+    /** Is the line present and dirty? (no LRU update) */
+    bool isDirty(Addr addr) const;
+
+    /** Non-destructive presence probe (no LRU update). */
+    bool contains(Addr addr) const;
+
+    /**
+     * Install the line holding @p addr.
+     * @return the evicted line address, or kInvalidAddr if none.
+     */
+    Addr insert(Addr addr);
+
+    /** Install with dirtiness tracking: returns the victim (address
+     * kInvalidAddr if none) and whether it was dirty. */
+    Victim insertTracked(Addr addr, bool dirty);
+
+    /** Remove the line holding @p addr if present. */
+    void invalidate(Addr addr);
+
+    /** Drop all contents. */
+    void reset();
+
+    /** Clear hit/miss counters, keeping contents (warmup support). */
+    void resetStats();
+
+    Addr sizeBytes() const { return sizeBytes_; }
+    unsigned assoc() const { return assoc_; }
+    unsigned numSets() const { return numSets_; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = hits_ + misses_;
+        return total ? static_cast<double>(hits_)
+                / static_cast<double>(total)
+                     : 0.0;
+    }
+
+  private:
+    struct Line {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    Addr sizeBytes_;
+    unsigned assoc_;
+    unsigned numSets_;
+    std::vector<Line> lines_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace tempo
+
+#endif // TEMPO_CACHE_SET_ASSOC_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * INI-style configuration files for the simulator, so experiments can
+ * be captured as reviewable text instead of long command lines:
+ *
+ *   # scaled machine with a bigger LLC and open rows
+ *   [caches]
+ *   llc_bytes = 2097152
+ *   llc_assoc = 16
+ *   [dram]
+ *   row_policy = open
+ *   channels = 4
+ *   [mc]
+ *   tempo = true
+ *   pt_row_hold = 10
+ *
+ * Unknown keys are an error (typos must not silently do nothing).
+ * Values are bool ("true"/"false"/"1"/"0"), integers, floats, or the
+ * enum spellings used by the CLI.
+ */
+
+#ifndef TEMPO_CLI_CONFIG_FILE_HH
+#define TEMPO_CLI_CONFIG_FILE_HH
+
+#include <string>
+
+#include "core/config.hh"
+
+namespace tempo::cli {
+
+/**
+ * Apply @p ini_text (INI syntax, see file comment) on top of @p cfg.
+ * @throws std::invalid_argument naming the offending line on errors.
+ */
+void applyConfigText(const std::string &ini_text, SystemConfig &cfg);
+
+/** Load @p path and apply it. @throws std::invalid_argument. */
+void applyConfigFile(const std::string &path, SystemConfig &cfg);
+
+} // namespace tempo::cli
+
+#endif // TEMPO_CLI_CONFIG_FILE_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Command-line options for the tempo_sim driver, in a library so the
+ * parsing logic is unit-testable. See tools/tempo_sim.cpp for usage.
+ */
+
+#ifndef TEMPO_CLI_OPTIONS_HH
+#define TEMPO_CLI_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+
+namespace tempo::cli {
+
+struct Options {
+    std::string workload = "xsbench";
+    std::uint64_t refs = 300000;
+    bool tempo = false;
+    /** Run baseline and TEMPO back-to-back and print the comparison. */
+    bool compare = false;
+    bool imp = false;
+    std::string sched = "frfcfs";      //!< frfcfs | bliss
+    std::string rowPolicy = "adaptive"; //!< open | closed | adaptive
+    std::string pagePolicy = "thp";    //!< 4k | thp | hugetlbfs2m |
+                                       //!< hugetlbfs1g
+    double frag = 0.0;                 //!< memhog fragmentation level
+    std::string subrow = "none";       //!< none | foa | poa
+    unsigned subrowDedicated = 0;
+    std::uint64_t seed = 42;
+    bool fullReport = false;
+    std::string csvPath;    //!< write the full report as CSV here
+    std::string traceIn;    //!< replay this trace file instead of the
+                            //!< named generator
+    std::string traceOut;   //!< record the workload to this file and
+                            //!< exit without simulating
+    std::string configPath; //!< INI file applied on top of the preset
+    bool help = false;
+};
+
+/**
+ * Parse argv-style arguments (excluding the program name).
+ * @throws std::invalid_argument with a user-readable message on bad
+ *         input (the tool prints it and exits with status 2).
+ */
+Options parse(const std::vector<std::string> &args);
+
+/** The --help text. */
+std::string usage();
+
+/** Build the SystemConfig an Options selection describes. */
+SystemConfig toConfig(const Options &options);
+
+} // namespace tempo::cli
+
+#endif // TEMPO_CLI_OPTIONS_HH

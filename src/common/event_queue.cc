@@ -1,0 +1,3 @@
+// EventQueue is header-only; this translation unit exists so the build
+// system has a home for it and to catch header self-sufficiency problems.
+#include "common/event_queue.hh"

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A minimal discrete-event scheduler.
+ *
+ * Every timed interaction in the simulator — core issue slots, page table
+ * walk steps, memory controller wakeups, DRAM command completions — is an
+ * event on one global queue. Events at the same cycle execute in FIFO
+ * insertion order, which keeps the simulation deterministic.
+ */
+
+#ifndef TEMPO_COMMON_EVENT_QUEUE_HH
+#define TEMPO_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace tempo {
+
+/**
+ * Time-ordered queue of callbacks. schedule() may be called from inside a
+ * running callback (including for the current cycle).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulation time. Monotonically non-decreasing. */
+    Cycle now() const { return now_; }
+
+    /** Schedule @p cb to run at absolute time @p when (>= now()). */
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        TEMPO_ASSERT(when >= now_, "scheduling event in the past: ", when,
+                     " < ", now_);
+        queue_.push(Event{when, seq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb to run @p delta cycles from now. */
+    void
+    scheduleIn(Cycle delta, Callback cb)
+    {
+        schedule(now_ + delta, std::move(cb));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return queue_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return queue_.size(); }
+
+    /** Time of the next event; invalid to call when empty. */
+    Cycle
+    nextTime() const
+    {
+        TEMPO_ASSERT(!queue_.empty(), "nextTime on empty queue");
+        return queue_.top().when;
+    }
+
+    /** Run one event. Returns false if the queue was empty. */
+    bool
+    step()
+    {
+        if (queue_.empty())
+            return false;
+        // Moving out of a priority_queue top requires a const_cast; the
+        // element is popped immediately after so this is safe.
+        Event ev = std::move(const_cast<Event &>(queue_.top()));
+        queue_.pop();
+        now_ = ev.when;
+        ev.cb();
+        ++executed_;
+        return true;
+    }
+
+    /** Run until the queue drains. */
+    void
+    runAll()
+    {
+        while (step()) {
+        }
+    }
+
+    /** Run all events with time <= @p until; advances now() to @p until. */
+    void
+    runUntil(Cycle until)
+    {
+        while (!queue_.empty() && queue_.top().when <= until)
+            step();
+        if (now_ < until)
+            now_ = until;
+    }
+
+    /** Total number of events executed (for diagnostics). */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    Cycle now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace tempo
+
+#endif // TEMPO_COMMON_EVENT_QUEUE_HH

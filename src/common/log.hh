@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated: a simulator bug. Aborts.
+ * fatal()  — the configuration or input is unusable: a user error. Exits.
+ * warn()   — something is suspicious but simulation can continue.
+ */
+
+#ifndef TEMPO_COMMON_LOG_HH
+#define TEMPO_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace tempo {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+
+namespace detail {
+
+inline std::string
+formatMessage()
+{
+    return {};
+}
+
+template <typename First, typename... Rest>
+std::string
+formatMessage(const First &first, const Rest &...rest)
+{
+    std::ostringstream os;
+    os << first;
+    return os.str() + formatMessage(rest...);
+}
+
+} // namespace detail
+} // namespace tempo
+
+/** Abort with a message: an invariant the simulator itself must uphold
+ * was violated. */
+#define TEMPO_PANIC(...)                                                   \
+    ::tempo::panicImpl(__FILE__, __LINE__,                                 \
+                       ::tempo::detail::formatMessage(__VA_ARGS__))
+
+/** Exit with a message: the user supplied an impossible configuration. */
+#define TEMPO_FATAL(...)                                                   \
+    ::tempo::fatalImpl(__FILE__, __LINE__,                                 \
+                       ::tempo::detail::formatMessage(__VA_ARGS__))
+
+/** Print a warning and continue. */
+#define TEMPO_WARN(...)                                                    \
+    ::tempo::warnImpl(__FILE__, __LINE__,                                  \
+                      ::tempo::detail::formatMessage(__VA_ARGS__))
+
+/** Panic unless @p cond holds. */
+#define TEMPO_ASSERT(cond, ...)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            TEMPO_PANIC("assertion failed: " #cond " ",                    \
+                        ::tempo::detail::formatMessage(__VA_ARGS__));      \
+        }                                                                  \
+    } while (0)
+
+#endif // TEMPO_COMMON_LOG_HH

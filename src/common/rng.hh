@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic choice in the simulator (workload address streams, OS
+ * fragmentation, tie-breaking) draws from an Rng seeded explicitly, so two
+ * runs with the same configuration produce bit-identical statistics.
+ */
+
+#ifndef TEMPO_COMMON_RNG_HH
+#define TEMPO_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace tempo {
+
+/**
+ * xoshiro256** generator. Small, fast, and good enough statistical quality
+ * for workload synthesis; decidedly not cryptographic.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 expansion. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded generation, without the
+        // rejection step: bias is < 2^-40 for the bounds we use.
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Geometric-ish "hot set" pick: with probability @p hot_frac return an
+     * index in the first @p hot_count elements, otherwise anywhere in
+     * [0, count). Used to synthesize skewed reuse distributions.
+     */
+    std::uint64_t
+    skewedBelow(std::uint64_t count, std::uint64_t hot_count,
+                double hot_frac)
+    {
+        if (hot_count > 0 && hot_count < count && chance(hot_frac))
+            return below(hot_count);
+        return below(count);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace tempo
+
+#endif // TEMPO_COMMON_RNG_HH

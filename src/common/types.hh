@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Fundamental scalar types and address-arithmetic helpers shared by every
+ * TEMPO module.
+ */
+
+#ifndef TEMPO_COMMON_TYPES_HH
+#define TEMPO_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tempo {
+
+/** A virtual or physical memory address (byte granularity). */
+using Addr = std::uint64_t;
+
+/** A simulation timestamp, in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Identifier of an application (core) in a multiprogrammed mix. */
+using AppId = std::uint32_t;
+
+/** Sentinel for "no address". */
+inline constexpr Addr kInvalidAddr = ~Addr{0};
+
+/** Cache line size used throughout (x86-64 convention). */
+inline constexpr Addr kLineBytes = 64;
+
+/** Base page size (x86-64 4KB pages). */
+inline constexpr Addr kPageBytes = 4096;
+
+/** 2MB superpage size. */
+inline constexpr Addr kPage2MBytes = 2ull << 20;
+
+/** 1GB superpage size. */
+inline constexpr Addr kPage1GBytes = 1ull << 30;
+
+/** Bytes occupied by one page table entry (x86-64). */
+inline constexpr Addr kPteBytes = 8;
+
+/** Number of PTEs per page table node (x86-64: 4KB node / 8B PTE). */
+inline constexpr Addr kPtesPerNode = kPageBytes / kPteBytes;
+
+/** Supported page sizes, named after the leaf page table level. */
+enum class PageSize : std::uint8_t {
+    Page4K,  //!< mapped at the L1 PT (leaf level 1)
+    Page2M,  //!< mapped at the L2 PT (leaf level 2)
+    Page1G,  //!< mapped at the L3 PT (leaf level 3)
+};
+
+/** Number of bytes spanned by a page of the given size. */
+constexpr Addr
+pageBytes(PageSize size)
+{
+    switch (size) {
+      case PageSize::Page4K: return kPageBytes;
+      case PageSize::Page2M: return kPage2MBytes;
+      case PageSize::Page1G: return kPage1GBytes;
+    }
+    return kPageBytes;
+}
+
+/** Page table level (1 = leaf for 4KB pages, 4 = root) that maps a page
+ * of the given size. */
+constexpr int
+leafLevel(PageSize size)
+{
+    switch (size) {
+      case PageSize::Page4K: return 1;
+      case PageSize::Page2M: return 2;
+      case PageSize::Page1G: return 3;
+    }
+    return 1;
+}
+
+/** Human-readable page size name. */
+inline const char *
+pageSizeName(PageSize size)
+{
+    switch (size) {
+      case PageSize::Page4K: return "4KB";
+      case PageSize::Page2M: return "2MB";
+      case PageSize::Page1G: return "1GB";
+    }
+    return "?";
+}
+
+/** Align @p addr down to a multiple of @p align (power of two). */
+constexpr Addr
+alignDown(Addr addr, Addr align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Align @p addr up to a multiple of @p align (power of two). */
+constexpr Addr
+alignUp(Addr addr, Addr align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** Cache-line address (line-aligned) of @p addr. */
+constexpr Addr
+lineAddr(Addr addr)
+{
+    return alignDown(addr, kLineBytes);
+}
+
+/** Index of the cache line holding @p addr within its 4KB page (0..63). */
+constexpr unsigned
+lineInPage(Addr addr)
+{
+    return static_cast<unsigned>((addr & (kPageBytes - 1)) / kLineBytes);
+}
+
+/** Virtual page number for a 4KB page. */
+constexpr Addr
+vpn4K(Addr vaddr)
+{
+    return vaddr / kPageBytes;
+}
+
+/** floor(log2(x)) for a power-of-two x. */
+constexpr unsigned
+log2Exact(Addr x)
+{
+    unsigned n = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** True iff x is a (nonzero) power of two. */
+constexpr bool
+isPow2(Addr x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace tempo
+
+#endif // TEMPO_COMMON_TYPES_HH

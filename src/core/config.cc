@@ -1,0 +1,88 @@
+#include "core/config.hh"
+
+namespace tempo {
+
+SystemConfig
+SystemConfig::skylakeScaled()
+{
+    SystemConfig cfg;
+
+    // Scaled cache hierarchy: the LLC is deliberately small relative to
+    // the workloads' leaf-PTE working sets (DESIGN.md Sec. 2).
+    cfg.caches.l1 = {32 * 1024, 8, 4};
+    cfg.caches.l2 = {128 * 1024, 8, 14};
+    cfg.caches.llc = {256 * 1024, 16, 42};
+
+    // Skylake-style TLBs and MMU caches.
+    cfg.tlb = TlbConfig{};
+    cfg.mmu = MmuCacheConfig{};
+
+    // DRAM: adaptive row policy, 8KB rows, FR-FCFS (paper Sec. 6 intro).
+    cfg.dram = DramConfig{};
+    cfg.dram.rowPolicy = RowPolicyKind::Adaptive;
+
+    cfg.mc = McConfig{};
+    cfg.mc.sched = SchedKind::FrFcfs;
+    cfg.mc.tempoEnabled = false;
+
+    cfg.os = OsMemoryConfig{};
+    cfg.vm = AddressSpaceConfig{};
+    cfg.vm.policy = PagePolicy::Thp;
+
+    return cfg;
+}
+
+SystemConfig &
+SystemConfig::withTempo(bool on)
+{
+    mc.tempoEnabled = on;
+    return *this;
+}
+
+SystemConfig &
+SystemConfig::withRowPolicy(RowPolicyKind kind)
+{
+    dram.rowPolicy = kind;
+    return *this;
+}
+
+SystemConfig &
+SystemConfig::withSched(SchedKind kind)
+{
+    mc.sched = kind;
+    return *this;
+}
+
+SystemConfig &
+SystemConfig::withPagePolicy(PagePolicy policy, double frag)
+{
+    vm.policy = policy;
+    os.fragLevel = frag;
+    return *this;
+}
+
+SystemConfig &
+SystemConfig::withImp(bool on)
+{
+    imp.enabled = on;
+    return *this;
+}
+
+SystemConfig &
+SystemConfig::withSubRows(SubRowAlloc alloc, unsigned dedicated)
+{
+    dram.subRowAlloc = alloc;
+    dram.subRowsForPrefetch = dedicated;
+    return *this;
+}
+
+SystemConfig &
+SystemConfig::withSeed(std::uint64_t new_seed)
+{
+    seed = new_seed;
+    os.seed = new_seed + 1;
+    vm.seed = new_seed + 2;
+    return *this;
+}
+
+} // namespace tempo

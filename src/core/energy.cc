@@ -1,0 +1,29 @@
+#include "core/energy.hh"
+
+namespace tempo {
+
+EnergyBreakdown
+computeEnergy(const EnergyConfig &cfg, Cycle runtime,
+              const DramDevice &dram, std::uint64_t mc_requests,
+              bool tempo_enabled)
+{
+    EnergyBreakdown e;
+    const double cycles = static_cast<double>(runtime);
+
+    double core_power = cfg.corePowerPerCycle;
+    double mc_per_req = cfg.mcEnergyPerRequest;
+    if (tempo_enabled) {
+        // TEMPO's extra gates burn power in the MC and walker whether or
+        // not they fire; the walker is folded into core static power.
+        core_power *= 1.0 + cfg.tempoWalkerAreaOverhead;
+        mc_per_req *= 1.0 + cfg.tempoMcAreaOverhead;
+    }
+
+    e.coreStatic = cycles * core_power;
+    e.dramStatic = cycles * dram.config().pStatic;
+    e.dramDynamic = dram.dynamicEnergy();
+    e.mcDynamic = static_cast<double>(mc_requests) * mc_per_req;
+    return e;
+}
+
+} // namespace tempo

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * System energy model.
+ *
+ * The paper's energy savings come overwhelmingly from runtime reduction
+ * (static energy) with a small dynamic component; TEMPO's added hardware
+ * charges a fixed area/power overhead on the memory controller (+3%) and
+ * walker (+0.5%) from the Verilog synthesis in Sec. 5. The model here
+ * reproduces exactly that structure.
+ */
+
+#ifndef TEMPO_CORE_ENERGY_HH
+#define TEMPO_CORE_ENERGY_HH
+
+#include "core/config.hh"
+#include "dram/dram.hh"
+#include "stats/stats.hh"
+
+namespace tempo {
+
+/** Energy breakdown of a finished run. */
+struct EnergyBreakdown {
+    double coreStatic = 0;
+    double dramStatic = 0;
+    double dramDynamic = 0;
+    double mcDynamic = 0;
+
+    double
+    total() const
+    {
+        return coreStatic + dramStatic + dramDynamic + mcDynamic;
+    }
+
+    void
+    report(stats::Report &out) const
+    {
+        out.add("core_static", coreStatic);
+        out.add("dram_static", dramStatic);
+        out.add("dram_dynamic", dramDynamic);
+        out.add("mc_dynamic", mcDynamic);
+        out.add("total", total());
+    }
+};
+
+/**
+ * Compute the energy of a run.
+ * @param cfg energy parameters
+ * @param runtime total cycles
+ * @param dram the DRAM device after the run (dynamic energy counters)
+ * @param mc_requests total requests the memory controller serviced
+ * @param tempo_enabled charges TEMPO's hardware overhead when true
+ */
+EnergyBreakdown computeEnergy(const EnergyConfig &cfg, Cycle runtime,
+                              const DramDevice &dram,
+                              std::uint64_t mc_requests,
+                              bool tempo_enabled);
+
+} // namespace tempo
+
+#endif // TEMPO_CORE_ENERGY_HH

@@ -1,0 +1,121 @@
+#include "core/multi_system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "core/tempo_system.hh"
+
+namespace tempo {
+
+double
+MultiResult::weightedSpeedup(const std::vector<Cycle> &alone) const
+{
+    TEMPO_ASSERT(alone.size() == appFinish.size(),
+                 "alone/shared size mismatch");
+    double ws = 0;
+    for (std::size_t i = 0; i < alone.size(); ++i) {
+        if (appFinish[i] > 0) {
+            ws += static_cast<double>(alone[i])
+                / static_cast<double>(appFinish[i]);
+        }
+    }
+    return ws;
+}
+
+double
+MultiResult::maxSlowdown(const std::vector<Cycle> &alone) const
+{
+    TEMPO_ASSERT(alone.size() == appFinish.size(),
+                 "alone/shared size mismatch");
+    double worst = 0;
+    for (std::size_t i = 0; i < alone.size(); ++i) {
+        if (alone[i] > 0) {
+            worst = std::max(worst,
+                             static_cast<double>(appFinish[i])
+                                 / static_cast<double>(alone[i]));
+        }
+    }
+    return worst;
+}
+
+MultiSystem::MultiSystem(const SystemConfig &cfg,
+                         std::vector<std::unique_ptr<Workload>> workloads)
+    : machine_(cfg)
+{
+    TEMPO_ASSERT(!workloads.empty(), "empty workload mix");
+    AppId app = 0;
+    for (auto &workload : workloads) {
+        cores_.push_back(std::make_unique<SimCore>(machine_, app++,
+                                                   std::move(workload)));
+    }
+}
+
+MultiResult
+MultiSystem::run(std::uint64_t refs_per_app,
+                 std::uint64_t warmup_per_app)
+{
+    std::size_t warmed = 0;
+    std::vector<Cycle> measure_from(cores_.size(), 0);
+    if (warmup_per_app > 0) {
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            cores_[i]->setWarmupCallback(
+                warmup_per_app, [this, i, &warmed, &measure_from] {
+                    cores_[i]->resetStats();
+                    measure_from[i] = machine_.eq.now();
+                    if (++warmed == cores_.size()) {
+                        machine_.mc.resetStats();
+                        machine_.dram.resetStats();
+                        machine_.llc.resetStats();
+                    }
+                });
+        }
+    }
+    for (auto &core : cores_)
+        core->start(refs_per_app + warmup_per_app);
+    machine_.eq.runAll();
+
+    MultiResult result;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        auto &core = cores_[i];
+        TEMPO_ASSERT(core->done(), "core did not finish");
+        result.appFinish.push_back(core->finishTime()
+                                   - measure_from[i]);
+        result.appStats.push_back(core->stats());
+        result.runtime = std::max(result.runtime,
+                                  result.appFinish.back());
+    }
+    result.energy =
+        computeEnergy(machine_.config.energy, result.runtime,
+                      machine_.dram, machine_.mcRequests(),
+                      machine_.config.mc.tempoEnabled);
+    return result;
+}
+
+std::vector<Cycle>
+aloneRuntimes(const SystemConfig &cfg,
+              const std::vector<std::string> &names,
+              std::uint64_t refs_per_app, std::uint64_t warmup_per_app)
+{
+    std::vector<Cycle> alone;
+    alone.reserve(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        // Same per-workload trace seed as makeMix() so the alone and
+        // shared runs execute identical reference streams.
+        TempoSystem system(cfg, makeWorkload(names[i], cfg.seed + 13 * i));
+        alone.push_back(
+            system.run(refs_per_app, warmup_per_app).runtime);
+    }
+    return alone;
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeMix(const std::vector<std::string> &names, std::uint64_t seed)
+{
+    std::vector<std::unique_ptr<Workload>> mix;
+    mix.reserve(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        mix.push_back(makeWorkload(names[i], seed + 13 * i));
+    return mix;
+}
+
+} // namespace tempo

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * One simulated core running one application: the reference state
+ * machine that ties the TLB, MMU caches, page table walker, cache
+ * hierarchy, IMP prefetcher, and memory controller together.
+ *
+ * Timing model: the core issues one memory reference per issueGap cycles
+ * and keeps up to `window` references in flight (an ROB-style MLP
+ * window). Each reference runs the paper's Figure 5 timeline:
+ *
+ *   TLB probe -> (miss) MMU-cache probe -> serial PTE fetches through
+ *   the caches and DRAM (the leaf fetch TEMPO-tagged) -> TLB fill ->
+ *   replay through the caches and DRAM.
+ *
+ * Runtime-attribution: each reference accumulates the DRAM portions of
+ * its walk and replay; the Figure 1 runtime split reports each
+ * category's share of total reference cycles.
+ */
+
+#ifndef TEMPO_CORE_SIM_CORE_HH
+#define TEMPO_CORE_SIM_CORE_HH
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "core/machine.hh"
+#include "prefetch/imp.hh"
+#include "prefetch/stride.hh"
+#include "stats/stats.hh"
+#include "vm/address_space.hh"
+#include "vm/mmu_cache.hh"
+#include "vm/tlb.hh"
+#include "vm/walker.hh"
+#include "workloads/workload.hh"
+
+namespace tempo {
+
+/** Everything a run measures, per core. */
+struct CoreStats {
+    std::uint64_t refs = 0;
+    std::uint64_t pageFaults = 0;
+
+    // Page-table walk traffic.
+    std::uint64_t walks = 0;
+    std::uint64_t ptDramAccesses = 0;     //!< all PT fetches from DRAM
+    std::uint64_t leafPtDramAccesses = 0; //!< ... that were leaf PTEs
+    std::uint64_t walksWithLeafDram = 0;  //!< walks whose leaf hit DRAM
+    std::uint64_t ptDramByLevel[5] = {};  //!< DRAM PT fetches per level
+    std::uint64_t leafPtL1Hits = 0;       //!< leaf PTE found in L1D
+    std::uint64_t leafPtL2Hits = 0;       //!< leaf PTE found in L2
+    std::uint64_t leafPtLlcHits = 0;      //!< leaf PTE found in the LLC
+
+    // Demand DRAM traffic.
+    std::uint64_t replayDramAccesses = 0;  //!< replays that reached DRAM
+    std::uint64_t regularDramAccesses = 0; //!< TLB-hit refs from DRAM
+
+    // The paper's 98% observation and Fig. 11 breakdown: replays whose
+    // walk needed DRAM, and where they were ultimately serviced.
+    std::uint64_t replayAfterDramWalk = 0;
+    std::uint64_t replayDramAfterDramWalk = 0;
+    std::uint64_t replayLlcHits = 0;     //!< serviced by LLC (TEMPO fill)
+    std::uint64_t replayPrivateHits = 0; //!< L1/L2 hit (rare)
+    std::uint64_t replayMerged = 0;      //!< merged with in-flight prefetch
+    std::uint64_t replayRowHits = 0;     //!< DRAM row-buffer hit
+    std::uint64_t replayArray = 0;       //!< full DRAM array access
+
+    // MSHR merges: references that piggybacked on an in-flight fill of
+    // the same line instead of issuing a duplicate DRAM access.
+    std::uint64_t ptMshrMerges = 0;
+    std::uint64_t dataMshrMerges = 0;
+
+    // IMP/stride prefetcher chains.
+    std::uint64_t impIssued = 0;
+    std::uint64_t strideIssued = 0;
+    std::uint64_t impDroppedInflight = 0;
+    std::uint64_t impFaults = 0; //!< prefetch walks that hit unmapped PTEs
+    std::uint64_t tlbPrefetches = 0; //!< next-page TLB prefetch chains
+
+    // Runtime attribution (cycles summed over references).
+    double cyclesPtwDram = 0;
+    double cyclesReplayDram = 0;
+    double cyclesOtherDram = 0;
+    double cyclesTotal = 0;
+
+    Cycle lastFinish = 0;
+
+    void report(stats::Report &out) const;
+};
+
+class SimCore
+{
+  public:
+    SimCore(Machine &machine, AppId app,
+            std::unique_ptr<Workload> workload);
+
+    /** Begin issuing; the machine's event queue drives everything. */
+    void start(std::uint64_t num_refs);
+
+    bool done() const { return completed_ >= target_ && target_ > 0; }
+    Cycle finishTime() const { return stats_.lastFinish; }
+
+    const CoreStats &stats() const { return stats_; }
+    Workload &workload() { return *workload_; }
+    AppId app() const { return app_; }
+
+    // Per-core components, exposed for reporting and tests.
+    Tlb tlb;
+    MmuCache mmu;
+    CacheHierarchy caches;
+    AddressSpace addressSpace;
+    Walker walker;
+    ImpPrefetcher imp;
+    StridePrefetcher stride;
+
+    /** Invoked once when the last reference completes. */
+    std::function<void()> onDone;
+
+    /**
+     * Warmup support: invoke @p callback once, when the @p after -th
+     * reference completes (callers typically reset statistics there).
+     * Must be set before start().
+     */
+    void setWarmupCallback(std::uint64_t after,
+                           std::function<void()> callback);
+
+    /** Clear this core's statistics (counters only; all architectural
+     * state — TLB/cache/table contents — is preserved). */
+    void resetStats();
+
+  private:
+    struct RefContext;
+    using RefPtr = std::shared_ptr<RefContext>;
+
+    /** Issue references until the window is full. */
+    void pump();
+    void beginRef();
+    /** Run one PTE fetch of a planned walk; recurses via events. */
+    void walkAsync(Addr vaddr, std::shared_ptr<WalkPlan> plan,
+                   std::size_t step, bool for_prefetch,
+                   std::function<void(Cycle, double, bool)> done);
+    void dataAccess(const RefPtr &ctx);
+    /** Miss handling once the LLC lookup completes: late-prefetch hit
+     * detection, MSHR merge, or a real memory-controller request. */
+    void memoryAccess(const RefPtr &ctx);
+    void finishRef(const RefPtr &ctx);
+    void maybeImpPrefetch(const MemRef &ref);
+    void maybeStridePrefetch(const MemRef &ref);
+    /** Launch a core-prefetcher chain (IMP or stride): translate the
+     * target (possibly walking, without demand paging) and fetch its
+     * line into the caches. */
+    void prefetchChain(Addr target);
+    void impData(Addr paddr);
+    /** Extension: prefetch the next page's translation into the TLB. */
+    void maybeTlbPrefetch(Addr vaddr, PageSize size);
+
+    /** True when a fill of @p line is outstanding. */
+    bool mshrPending(Addr line) const { return mshr_.count(line) > 0; }
+    /** MSHR: if a fill of @p line is in flight, queue @p waiter for its
+     * completion and return true. */
+    bool mshrWait(Addr line, std::function<void(Cycle)> waiter);
+    /** Register an outstanding fill of @p line. */
+    void mshrOpen(Addr line);
+    /** Complete the fill: release all waiters at @p when. */
+    void mshrClose(Addr line, Cycle when);
+
+    Machine &machine_;
+    const SystemConfig &cfg_;
+    AppId app_;
+    std::unique_ptr<Workload> workload_;
+
+    std::uint64_t target_ = 0;
+    std::uint64_t issued_ = 0;
+    std::uint64_t completed_ = 0;
+    unsigned inflight_ = 0;
+    unsigned window_ = 8;
+    Cycle nextIssueAt_ = 0;
+    unsigned impInflight_ = 0;
+
+    /** Outstanding line fills -> waiters (miss-status holding regs). */
+    std::unordered_map<Addr, std::vector<std::function<void(Cycle)>>>
+        mshr_;
+
+    std::vector<Addr> strideTargets_; //!< scratch for stride.observe()
+
+    std::uint64_t warmupAfter_ = 0;
+    std::function<void()> warmupCallback_;
+
+    CoreStats stats_;
+};
+
+} // namespace tempo
+
+#endif // TEMPO_CORE_SIM_CORE_HH

@@ -1,0 +1,138 @@
+#include "core/tempo_system.hh"
+
+#include "common/log.hh"
+
+namespace tempo {
+
+double
+RunResult::fracRuntimePtwDram() const
+{
+    return stats::ratio(core.cyclesPtwDram, core.cyclesTotal);
+}
+
+double
+RunResult::fracRuntimeReplayDram() const
+{
+    return stats::ratio(core.cyclesReplayDram, core.cyclesTotal);
+}
+
+double
+RunResult::fracRuntimeOtherDram() const
+{
+    return stats::ratio(core.cyclesOtherDram, core.cyclesTotal);
+}
+
+double
+RunResult::fracDramPtw() const
+{
+    return stats::ratio(dramPtw, dramPtw + dramReplay + dramOther);
+}
+
+double
+RunResult::fracDramReplay() const
+{
+    return stats::ratio(dramReplay, dramPtw + dramReplay + dramOther);
+}
+
+double
+RunResult::fracDramOther() const
+{
+    return stats::ratio(dramOther, dramPtw + dramReplay + dramOther);
+}
+
+double
+RunResult::speedupOver(const RunResult &baseline) const
+{
+    if (baseline.runtime == 0)
+        return 0;
+    return 1.0
+        - static_cast<double>(runtime)
+        / static_cast<double>(baseline.runtime);
+}
+
+double
+RunResult::energySavingOver(const RunResult &baseline) const
+{
+    if (baseline.energy.total() == 0)
+        return 0;
+    return 1.0 - energy.total() / baseline.energy.total();
+}
+
+TempoSystem::TempoSystem(const SystemConfig &cfg,
+                         std::unique_ptr<Workload> workload)
+    : machine_(cfg), core_(machine_, 0, std::move(workload))
+{
+}
+
+RunResult
+TempoSystem::run(std::uint64_t num_refs, std::uint64_t warmup_refs)
+{
+    Cycle measure_from = 0;
+    if (warmup_refs > 0) {
+        core_.setWarmupCallback(warmup_refs, [this, &measure_from] {
+            measure_from = machine_.eq.now();
+            core_.resetStats();
+            machine_.mc.resetStats();
+            machine_.dram.resetStats();
+            machine_.llc.resetStats();
+        });
+    }
+    core_.start(num_refs + warmup_refs);
+    machine_.eq.runAll();
+    TEMPO_ASSERT(core_.done(), "event queue drained before completion");
+
+    RunResult result;
+    result.core = core_.stats();
+    result.runtime = result.core.lastFinish - measure_from;
+    result.energy =
+        computeEnergy(machine_.config.energy, result.runtime,
+                      machine_.dram, machine_.mcRequests(),
+                      machine_.config.mc.tempoEnabled);
+    result.superpageCoverage = core_.addressSpace.superpageCoverage();
+    result.coverage2M = core_.addressSpace.coverage2M();
+    result.coverage1G = core_.addressSpace.coverage1G();
+
+    result.dramPtw = machine_.mc.served(ReqKind::PtWalk);
+    result.dramReplay = machine_.mc.served(ReqKind::Replay);
+    result.dramOther = machine_.mc.served(ReqKind::Regular)
+        + machine_.mc.served(ReqKind::ImpPrefetch)
+        + machine_.mc.served(ReqKind::Writeback);
+
+    result.core.report(result.report);
+    stats::Report dram_report;
+    machine_.dram.report(dram_report);
+    result.report.merge("dram.", dram_report);
+    stats::Report mc_report;
+    machine_.mc.report(mc_report);
+    result.report.merge("mc.", mc_report);
+    stats::Report tlb_report;
+    core_.tlb.report(tlb_report);
+    result.report.merge("tlb.", tlb_report);
+    stats::Report mmu_report;
+    core_.mmu.report(mmu_report);
+    result.report.merge("mmu.", mmu_report);
+    stats::Report cache_report;
+    core_.caches.report(cache_report);
+    result.report.merge("cache.", cache_report);
+    stats::Report vm_report;
+    core_.addressSpace.report(vm_report);
+    result.report.merge("vm.", vm_report);
+    stats::Report os_report;
+    machine_.os.report(os_report);
+    result.report.merge("os.", os_report);
+    stats::Report energy_report;
+    result.energy.report(energy_report);
+    result.report.merge("energy.", energy_report);
+
+    return result;
+}
+
+RunResult
+runWorkload(const SystemConfig &cfg, const std::string &name,
+            std::uint64_t refs)
+{
+    TempoSystem system(cfg, makeWorkload(name, cfg.seed));
+    return system.run(refs);
+}
+
+} // namespace tempo

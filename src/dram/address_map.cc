@@ -1,0 +1,60 @@
+#include "dram/address_map.hh"
+
+#include "common/log.hh"
+
+namespace tempo {
+
+AddressMap::AddressMap(const DramConfig &cfg)
+    : channels_(cfg.channels),
+      banks_(cfg.banksPerRank),
+      ranks_(cfg.ranksPerChannel),
+      rowBytes_(cfg.rowBufferBytes)
+{
+    TEMPO_ASSERT(isPow2(cfg.rowBufferBytes), "row size must be 2^n");
+    TEMPO_ASSERT(isPow2(cfg.channels) && isPow2(cfg.banksPerRank)
+                 && isPow2(cfg.ranksPerChannel),
+                 "DRAM geometry must be powers of two");
+    colBits_ = log2Exact(cfg.rowBufferBytes / kLineBytes);
+    channelBits_ = log2Exact(cfg.channels);
+    bankBits_ = log2Exact(cfg.banksPerRank);
+    rankBits_ = log2Exact(cfg.ranksPerChannel);
+}
+
+DramCoord
+AddressMap::decode(Addr paddr) const
+{
+    Addr bits = paddr >> log2Exact(kLineBytes);
+    DramCoord coord{};
+    coord.col = static_cast<unsigned>(bits & ((1ull << colBits_) - 1));
+    bits >>= colBits_;
+    coord.channel = static_cast<unsigned>(bits & (channels_ - 1));
+    bits >>= channelBits_;
+    coord.bank = static_cast<unsigned>(bits & (banks_ - 1));
+    bits >>= bankBits_;
+    coord.rank = static_cast<unsigned>(bits & (ranks_ - 1));
+    bits >>= rankBits_;
+    coord.row = bits;
+    return coord;
+}
+
+bool
+AddressMap::sameRow(Addr a, Addr b) const
+{
+    const DramCoord ca = decode(a);
+    const DramCoord cb = decode(b);
+    return ca.channel == cb.channel && ca.rank == cb.rank
+        && ca.bank == cb.bank && ca.row == cb.row;
+}
+
+unsigned
+AddressMap::segment(Addr paddr, unsigned sub_rows) const
+{
+    TEMPO_ASSERT(sub_rows > 0 && isPow2(sub_rows),
+                 "sub-row count must be a nonzero power of two");
+    const unsigned col = decode(paddr).col;
+    const unsigned cols_per_segment =
+        static_cast<unsigned>((rowBytes_ / kLineBytes) / sub_rows);
+    return col / cols_per_segment;
+}
+
+} // namespace tempo

@@ -1,0 +1,90 @@
+#include "dram/dram.hh"
+
+#include "common/log.hh"
+
+namespace tempo {
+
+DramDevice::DramDevice(const DramConfig &cfg)
+    : cfg_(cfg), map_(cfg), policy_(std::make_unique<RowPolicy>(cfg))
+{
+    banks_.reserve(cfg.totalBanks());
+    for (unsigned i = 0; i < cfg.totalBanks(); ++i)
+        banks_.emplace_back(cfg_, i, policy_.get());
+}
+
+DramResult
+DramDevice::access(Addr paddr, bool is_write, bool is_prefetch, AppId app,
+                   Cycle when, Cycle hold_for)
+{
+    const DramCoord coord = map_.decode(paddr);
+    Bank &bank = banks_[coord.flatBank(cfg_)];
+    const unsigned segment =
+        cfg_.subRowAlloc == SubRowAlloc::None
+            ? 0
+            : map_.segment(paddr, cfg_.subRowCount);
+
+    const BankAccess access = bank.access(coord.row, segment, is_write,
+                                          is_prefetch, app, when, hold_for,
+                                          energy_);
+    switch (access.event) {
+      case RowEvent::Hit: ++rowHits_; break;
+      case RowEvent::Miss: ++rowMisses_; break;
+      case RowEvent::Conflict: ++rowConflicts_; break;
+    }
+    return DramResult{access.event, access.start, access.complete};
+}
+
+bool
+DramDevice::wouldRowHit(Addr paddr) const
+{
+    const DramCoord coord = map_.decode(paddr);
+    const Bank &bank = banks_[coord.flatBank(cfg_)];
+    const unsigned segment =
+        cfg_.subRowAlloc == SubRowAlloc::None
+            ? 0
+            : map_.segment(paddr, cfg_.subRowCount);
+    return bank.wouldHit(coord.row, segment);
+}
+
+Cycle
+DramDevice::bankReadyAt(Addr paddr) const
+{
+    const DramCoord coord = map_.decode(paddr);
+    return banks_[coord.flatBank(cfg_)].readyAt();
+}
+
+double
+DramDevice::dynamicEnergy() const
+{
+    return static_cast<double>(energy_.activates) * cfg_.eAct
+        + static_cast<double>(energy_.precharges) * cfg_.ePre
+        + static_cast<double>(energy_.colReads) * cfg_.eColRead
+        + static_cast<double>(energy_.colWrites) * cfg_.eColWrite
+        + static_cast<double>(energy_.refreshes) * cfg_.eRefresh;
+}
+
+void
+DramDevice::resetStats()
+{
+    energy_ = EnergyCounters{};
+    rowHits_ = 0;
+    rowMisses_ = 0;
+    rowConflicts_ = 0;
+}
+
+void
+DramDevice::report(stats::Report &out) const
+{
+    out.add("row_hits", rowHits_);
+    out.add("row_misses", rowMisses_);
+    out.add("row_conflicts", rowConflicts_);
+    out.add("row_hit_rate", stats::ratio(rowHits_, accesses()));
+    out.add("activates", energy_.activates);
+    out.add("precharges", energy_.precharges);
+    out.add("col_reads", energy_.colReads);
+    out.add("col_writes", energy_.colWrites);
+    out.add("refreshes", energy_.refreshes);
+    out.add("dynamic_energy", dynamicEnergy());
+}
+
+} // namespace tempo

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The DRAM device: banks behind an address map, plus energy accounting.
+ *
+ * The device is a passive timing model — the memory controller decides
+ * *when* and *in what order* accesses happen; the device answers what each
+ * access costs given current row-buffer state.
+ */
+
+#ifndef TEMPO_DRAM_DRAM_HH
+#define TEMPO_DRAM_DRAM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/address_map.hh"
+#include "dram/bank.hh"
+#include "dram/config.hh"
+#include "dram/row_policy.hh"
+#include "stats/stats.hh"
+
+namespace tempo {
+
+/** Timing outcome of one device access. */
+struct DramResult {
+    RowEvent event;
+    Cycle start;
+    Cycle complete;
+};
+
+class DramDevice
+{
+  public:
+    explicit DramDevice(const DramConfig &cfg);
+
+    /**
+     * Access the line at @p paddr.
+     * @param when earliest start (after scheduling + bus availability)
+     * @param hold_for TEMPO row-hold after completion (0 = none)
+     */
+    DramResult access(Addr paddr, bool is_write, bool is_prefetch,
+                      AppId app, Cycle when, Cycle hold_for);
+
+    /** Would @p paddr row-hit right now? (scheduler FR-FCFS test) */
+    bool wouldRowHit(Addr paddr) const;
+
+    /** Earliest cycle the bank owning @p paddr can start an access. */
+    Cycle bankReadyAt(Addr paddr) const;
+
+    const AddressMap &map() const { return map_; }
+    const DramConfig &config() const { return cfg_; }
+
+    const EnergyCounters &energy() const { return energy_; }
+
+    /** Dynamic energy consumed so far (config's per-event weights). */
+    double dynamicEnergy() const;
+
+    /** Row-buffer event totals. */
+    std::uint64_t rowHits() const { return rowHits_; }
+    std::uint64_t rowMisses() const { return rowMisses_; }
+    std::uint64_t rowConflicts() const { return rowConflicts_; }
+    std::uint64_t accesses() const
+    {
+        return rowHits_ + rowMisses_ + rowConflicts_;
+    }
+
+    void report(stats::Report &out) const;
+
+    /** Clear event/energy counters, keeping row-buffer state
+     * (warmup support). */
+    void resetStats();
+
+  private:
+    DramConfig cfg_;
+    AddressMap map_;
+    std::unique_ptr<RowPolicy> policy_;
+    std::vector<Bank> banks_;
+    EnergyCounters energy_;
+    std::uint64_t rowHits_ = 0;
+    std::uint64_t rowMisses_ = 0;
+    std::uint64_t rowConflicts_ = 0;
+};
+
+} // namespace tempo
+
+#endif // TEMPO_DRAM_DRAM_HH

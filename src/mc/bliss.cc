@@ -1,0 +1,90 @@
+#include "mc/bliss.hh"
+
+#include "common/log.hh"
+
+namespace tempo {
+
+BlissScheduler::BlissScheduler(const SchedulerConfig &cfg)
+    : FrFcfsScheduler(cfg)
+{
+}
+
+bool
+BlissScheduler::isBlacklisted(AppId app) const
+{
+    return blacklist_.count(app) > 0;
+}
+
+void
+BlissScheduler::maybeClear(Cycle now)
+{
+    if (now - lastClear_ >= cfg_.blissClearInterval) {
+        blacklist_.clear();
+        lastClear_ = now;
+    }
+}
+
+std::size_t
+BlissScheduler::pick(const std::vector<QueuedRequest> &queue,
+                     const DramDevice &dram, Cycle now)
+{
+    TEMPO_ASSERT(!queue.empty(), "pick on empty queue");
+    maybeClear(now);
+
+    // TEMPO stream-switch rule: the prefetch triggered by the PT access we
+    // just served goes first, regardless of blacklisting.
+    if (pendingPrefetchAffinity_) {
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+            const MemRequest &req = queue[i].req;
+            if (req.kind == ReqKind::TempoPrefetch
+                && req.app == affinityApp_) {
+                return i;
+            }
+        }
+    }
+
+    std::size_t best = 0;
+    std::uint64_t best_score = 0;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        // Non-blacklisted apps outrank blacklisted ones; within each group
+        // the FR-FCFS base order applies. baseScore's class field tops out
+        // at 15, so shifting by a whole class byte keeps ordering intact.
+        const std::uint64_t base = baseScore(queue[i], dram, now);
+        const std::uint64_t score =
+            base | (isBlacklisted(queue[i].req.app) ? 0ull : 1ull << 40);
+        if (i == 0 || score > best_score) {
+            best = i;
+            best_score = score;
+        }
+    }
+    return best;
+}
+
+void
+BlissScheduler::served(const QueuedRequest &entry, Cycle now)
+{
+    maybeClear(now);
+
+    const unsigned weight = isPrefetchKind(entry.req.kind)
+        ? cfg_.blissPrefetchWeight
+        : cfg_.blissNormalWeight;
+
+    if (entry.req.app == lastApp_) {
+        consecutive_ += weight;
+    } else {
+        lastApp_ = entry.req.app;
+        consecutive_ = weight;
+    }
+
+    if (consecutive_ >= cfg_.blissThreshold) {
+        if (blacklist_.insert(entry.req.app).second)
+            ++blacklistEvents_;
+        consecutive_ = 0;
+    }
+
+    pendingPrefetchAffinity_ = cfg_.blissTempoAffinity
+        && entry.req.kind == ReqKind::PtWalk && entry.req.tempo.tagged;
+    affinityApp_ = entry.req.app;
+}
+
+} // namespace tempo

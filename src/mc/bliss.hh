@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The BLISS blacklisting memory scheduler (Subramanian et al., ICCD 2014 /
+ * TPDS 2016) with the paper's TEMPO adaptations (Sec. 4.3):
+ *
+ *  - applications issuing too many *consecutive* requests are blacklisted
+ *    for a clearing interval, deprioritizing interference-causing apps;
+ *  - TEMPO prefetches increment the consecutive counter at a reduced,
+ *    configurable weight (the paper finds half weight best — Fig. 16L);
+ *  - after a page-table access is served, its TEMPO prefetch is served
+ *    before the controller switches to another application's stream.
+ */
+
+#ifndef TEMPO_MC_BLISS_HH
+#define TEMPO_MC_BLISS_HH
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mc/scheduler.hh"
+
+namespace tempo {
+
+class BlissScheduler : public FrFcfsScheduler
+{
+  public:
+    explicit BlissScheduler(const SchedulerConfig &cfg);
+
+    std::size_t pick(const std::vector<QueuedRequest> &queue,
+                     const DramDevice &dram, Cycle now) override;
+
+    void served(const QueuedRequest &entry, Cycle now) override;
+
+    /** Is @p app currently blacklisted? (exposed for tests) */
+    bool isBlacklisted(AppId app) const;
+
+    /** Number of blacklisting episodes so far. */
+    std::uint64_t blacklistEvents() const { return blacklistEvents_; }
+
+  private:
+    void maybeClear(Cycle now);
+
+    std::unordered_set<AppId> blacklist_;
+    AppId lastApp_ = ~AppId{0};
+    unsigned consecutive_ = 0;
+    Cycle lastClear_ = 0;
+    std::uint64_t blacklistEvents_ = 0;
+
+    /** Set when the last served request was a PT access: serve that app's
+     * TEMPO prefetch next (paper's stream-switch rule). */
+    bool pendingPrefetchAffinity_ = false;
+    AppId affinityApp_ = 0;
+};
+
+} // namespace tempo
+
+#endif // TEMPO_MC_BLISS_HH

@@ -1,0 +1,257 @@
+#include "mc/memory_controller.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tempo {
+
+MemoryController::MemoryController(EventQueue &eq, DramDevice &dram,
+                                   const McConfig &cfg)
+    : eq_(eq), dram_(dram), cfg_(cfg)
+{
+    SchedulerConfig sched_cfg = cfg.scheduler;
+    sched_cfg.tempoGrouping = cfg.tempoEnabled && cfg.tempoGrouping;
+    sched_cfg.blissTempoAffinity = cfg.tempoEnabled;
+    switch (cfg.sched) {
+      case SchedKind::FrFcfs:
+        sched_ = std::make_unique<FrFcfsScheduler>(sched_cfg);
+        break;
+      case SchedKind::Bliss:
+        sched_ = std::make_unique<BlissScheduler>(sched_cfg);
+        break;
+    }
+    channels_.resize(dram.config().channels);
+}
+
+void
+MemoryController::submit(MemRequest req)
+{
+    const unsigned ch = dram_.map().decode(req.paddr).channel;
+    Channel &channel = channels_[ch];
+
+    QueuedRequest entry;
+    entry.req = std::move(req);
+    entry.arrival = eq_.now();
+    entry.seq = seq_++;
+    channel.queue.push_back(std::move(entry));
+
+    // A TEMPO-tagged PT request occupies two Tx Q slots (the paper splits
+    // it rather than widening the queue); track that in occupancy.
+    const std::size_t occupancy = channel.queue.size()
+        + (channel.queue.back().req.tempo.tagged ? 1 : 0);
+    highWater_ = std::max(highWater_, occupancy);
+
+    scheduleKick(ch, std::max(eq_.now(), channel.busFreeAt));
+}
+
+void
+MemoryController::scheduleKick(unsigned ch, Cycle when)
+{
+    Channel &channel = channels_[ch];
+    if (channel.kickPending)
+        return;
+    channel.kickPending = true;
+    eq_.schedule(when, [this, ch] {
+        channels_[ch].kickPending = false;
+        kick(ch);
+    });
+}
+
+void
+MemoryController::kick(unsigned ch)
+{
+    Channel &channel = channels_[ch];
+    if (channel.queue.empty())
+        return;
+    const Cycle now = eq_.now();
+    if (now < channel.busFreeAt) {
+        scheduleKick(ch, channel.busFreeAt);
+        return;
+    }
+    const std::size_t idx = sched_->pick(channel.queue, dram_, now);
+    dispatch(ch, idx);
+    if (!channel.queue.empty())
+        scheduleKick(ch, channel.busFreeAt);
+}
+
+void
+MemoryController::dispatch(unsigned ch, std::size_t idx)
+{
+    Channel &channel = channels_[ch];
+    TEMPO_ASSERT(idx < channel.queue.size(), "dispatch out of range");
+
+    QueuedRequest entry = std::move(channel.queue[idx]);
+    channel.queue.erase(channel.queue.begin()
+                        + static_cast<std::ptrdiff_t>(idx));
+
+    const Cycle now = eq_.now();
+    sched_->served(entry, now);
+
+    // TEMPO row holds: PT rows linger for the anticipation delay; rows
+    // opened by prefetches linger for the grace period (Sec. 4.3).
+    Cycle hold = 0;
+    if (cfg_.tempoEnabled) {
+        if (entry.req.kind == ReqKind::PtWalk)
+            hold = cfg_.tempoPtRowHold;
+        else if (entry.req.kind == ReqKind::TempoPrefetch)
+            hold = cfg_.tempoGracePeriod;
+    }
+
+    const DramResult result = dram_.access(
+        entry.req.paddr, entry.req.isWrite,
+        entry.req.kind == ReqKind::TempoPrefetch, entry.req.app, now,
+        hold);
+
+    // One transaction occupies the channel's command/data path per burst.
+    channel.busFreeAt = now + dram_.config().tBurst;
+
+    eq_.schedule(result.complete,
+                 [this, entry = std::move(entry), result]() mutable {
+                     completed(std::move(entry), result);
+                 });
+}
+
+void
+MemoryController::completed(QueuedRequest entry, const DramResult &result)
+{
+    const auto kind_idx = static_cast<std::size_t>(entry.req.kind);
+    TEMPO_ASSERT(kind_idx < kKinds, "bad kind");
+    ++servedCount_[kind_idx];
+    switch (result.event) {
+      case RowEvent::Hit: ++rowHitCount_[kind_idx]; break;
+      case RowEvent::Miss: ++rowMissCount_[kind_idx]; break;
+      case RowEvent::Conflict: ++rowConflictCount_[kind_idx]; break;
+    }
+    const Cycle queue_delay = result.start - entry.arrival;
+    queueDelaySum_[kind_idx] += static_cast<double>(queue_delay);
+
+    // PT? detector + Prefetch Engine: a completed, tagged leaf PT read
+    // yields the PTE contents; prefetch the replay's line (Sec. 4.1b).
+    if (cfg_.tempoEnabled && entry.req.tempo.tagged) {
+        if (!entry.req.tempo.pteValid) {
+            ++pfFaults_; // page fault: suppressed (Sec. 4.5)
+        } else {
+            firePrefetch(entry, result.complete);
+        }
+    }
+
+    if (entry.req.kind == ReqKind::TempoPrefetch) {
+        if (onTempoPrefetchFill && cfg_.tempoLlcFill)
+            onTempoPrefetchFill(entry.req.paddr, entry.req.app);
+        // Release any replay that merged with this prefetch.
+        const auto it = pendingPrefetch_.find(entry.req.paddr);
+        if (it != pendingPrefetch_.end()) {
+            auto waiters = std::move(it->second);
+            pendingPrefetch_.erase(it);
+            for (auto &waiter : waiters)
+                waiter(result.complete);
+        }
+    }
+
+    if (entry.req.onComplete) {
+        MemResult res;
+        res.complete = result.complete;
+        res.queueDelay = queue_delay;
+        res.rowEvent = static_cast<std::uint8_t>(result.event);
+        entry.req.onComplete(res);
+    }
+}
+
+void
+MemoryController::firePrefetch(const QueuedRequest &pt_entry, Cycle when)
+{
+    const Addr target = pt_entry.req.tempo.replayPaddr;
+    TEMPO_ASSERT(target != kInvalidAddr, "tagged PT without target");
+
+    const unsigned ch = dram_.map().decode(target).channel;
+    if (channels_[ch].queue.size() >= cfg_.prefetchDropDepth) {
+        ++pfDropped_;
+        return;
+    }
+    ++pfIssued_;
+    pendingPrefetch_.try_emplace(lineAddr(target));
+
+    MemRequest pf;
+    pf.paddr = lineAddr(target);
+    pf.isWrite = false;
+    pf.kind = ReqKind::TempoPrefetch;
+    pf.app = pt_entry.req.app;
+
+    eq_.schedule(when + cfg_.prefetchEngineDelay,
+                 [this, pf = std::move(pf)]() mutable {
+                     submit(std::move(pf));
+                 });
+}
+
+bool
+MemoryController::mergeWithPendingPrefetch(Addr line,
+                                           std::function<void(Cycle)>
+                                               waiter)
+{
+    const auto it = pendingPrefetch_.find(lineAddr(line));
+    if (it == pendingPrefetch_.end())
+        return false;
+    it->second.push_back(std::move(waiter));
+    return true;
+}
+
+std::uint64_t
+MemoryController::served(ReqKind kind) const
+{
+    return servedCount_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t
+MemoryController::rowHitsFor(ReqKind kind) const
+{
+    return rowHitCount_[static_cast<std::size_t>(kind)];
+}
+
+double
+MemoryController::avgQueueDelay(ReqKind kind) const
+{
+    const auto idx = static_cast<std::size_t>(kind);
+    return servedCount_[idx]
+        ? queueDelaySum_[idx] / static_cast<double>(servedCount_[idx])
+        : 0.0;
+}
+
+void
+MemoryController::resetStats()
+{
+    for (std::size_t i = 0; i < kKinds; ++i) {
+        servedCount_[i] = 0;
+        rowHitCount_[i] = 0;
+        rowMissCount_[i] = 0;
+        rowConflictCount_[i] = 0;
+        queueDelaySum_[i] = 0;
+    }
+    pfIssued_ = 0;
+    pfDropped_ = 0;
+    pfFaults_ = 0;
+    highWater_ = 0;
+}
+
+void
+MemoryController::report(stats::Report &out) const
+{
+    static const ReqKind kinds[] = {
+        ReqKind::Regular, ReqKind::Replay, ReqKind::PtWalk,
+        ReqKind::TempoPrefetch, ReqKind::ImpPrefetch,
+        ReqKind::Writeback};
+    for (ReqKind kind : kinds) {
+        const auto idx = static_cast<std::size_t>(kind);
+        const std::string prefix = std::string(reqKindName(kind)) + ".";
+        out.add(prefix + "served", servedCount_[idx]);
+        out.add(prefix + "row_hits", rowHitCount_[idx]);
+        out.add(prefix + "row_conflicts", rowConflictCount_[idx]);
+        out.add(prefix + "avg_queue_delay", avgQueueDelay(kind));
+    }
+    out.add("tempo.prefetches_issued", pfIssued_);
+    out.add("tempo.prefetches_dropped", pfDropped_);
+    out.add("tempo.fault_suppressed", pfFaults_);
+    out.add("queue_high_water", static_cast<std::uint64_t>(highWater_));
+}
+
+} // namespace tempo

@@ -1,0 +1,2 @@
+// MemRequest is a plain struct; this file anchors the header in the build.
+#include "mc/request.hh"

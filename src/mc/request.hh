@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Memory requests as seen by the memory controller.
+ *
+ * A leaf page-table request may carry a TEMPO tag: the paper's hardware
+ * appends the replay's cache-line index to the walker's request and the
+ * Prefetch Engine later combines it with the physical page number read
+ * from the PTE (Sec. 4.1). In the simulator the page-table model resolves
+ * the PTE at request-creation time, so the tag carries the final replay
+ * physical address directly; the two-slot transaction-queue encoding is
+ * accounted for in the occupancy statistics.
+ */
+
+#ifndef TEMPO_MC_REQUEST_HH
+#define TEMPO_MC_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+
+namespace tempo {
+
+/** Who generated a memory request. */
+enum class ReqKind : std::uint8_t {
+    Regular,       //!< demand access after a TLB hit
+    Replay,        //!< demand access replayed after a page table walk
+    PtWalk,        //!< page table walker reference
+    TempoPrefetch, //!< TEMPO's post-translation prefetch
+    ImpPrefetch,   //!< indirect memory prefetcher traffic
+    Writeback,     //!< dirty-line eviction from the LLC
+};
+
+inline const char *
+reqKindName(ReqKind kind)
+{
+    switch (kind) {
+      case ReqKind::Regular: return "regular";
+      case ReqKind::Replay: return "replay";
+      case ReqKind::PtWalk: return "pt_walk";
+      case ReqKind::TempoPrefetch: return "tempo_prefetch";
+      case ReqKind::ImpPrefetch: return "imp_prefetch";
+      case ReqKind::Writeback: return "writeback";
+    }
+    return "?";
+}
+
+inline bool
+isPrefetchKind(ReqKind kind)
+{
+    return kind == ReqKind::TempoPrefetch || kind == ReqKind::ImpPrefetch;
+}
+
+/** TEMPO trigger information attached to leaf page-table requests. */
+struct TempoTag {
+    bool tagged = false;      //!< walker marked this as a leaf PT access
+    bool pteValid = false;    //!< false = page fault: must not prefetch
+    Addr replayPaddr = kInvalidAddr; //!< line the replay will fetch
+};
+
+/** Result handed to the requester on completion. */
+struct MemResult {
+    Cycle complete;       //!< data available at the controller
+    Cycle queueDelay;     //!< cycles spent waiting in the Tx Q
+    std::uint8_t rowEvent; //!< RowEvent as integer (hit/miss/conflict)
+};
+
+/** One request into the memory controller. */
+struct MemRequest {
+    Addr paddr = 0;
+    bool isWrite = false;
+    ReqKind kind = ReqKind::Regular;
+    AppId app = 0;
+    TempoTag tempo;
+
+    /** Invoked when the access completes (may be empty). */
+    std::function<void(const MemResult &)> onComplete;
+};
+
+} // namespace tempo
+
+#endif // TEMPO_MC_REQUEST_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Transaction-queue scheduling policies.
+ *
+ * FrFcfsScheduler implements classic FR-FCFS (Rixner et al., ISCA 2000):
+ * among queued requests prefer row-buffer hits, break ties by age, with a
+ * starvation age cap. When TEMPO grouping is enabled it additionally
+ * implements the paper's Sec. 4.3(b) ordering: queued page-table requests
+ * are drained first, grouped by DRAM row, then TEMPO prefetches grouped by
+ * row, then everything else.
+ *
+ * BlissScheduler (see bliss.hh) layers application blacklisting on top.
+ */
+
+#ifndef TEMPO_MC_SCHEDULER_HH
+#define TEMPO_MC_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/dram.hh"
+#include "mc/request.hh"
+
+namespace tempo {
+
+/** A request sitting in a channel's transaction queue. */
+struct QueuedRequest {
+    MemRequest req;
+    Cycle arrival = 0;
+    std::uint64_t seq = 0; //!< global submission order (age tie-break)
+};
+
+/** Scheduler tuning knobs shared by all policies. */
+struct SchedulerConfig {
+    /** Requests older than this always win (starvation guard). */
+    Cycle starvationLimit = 4000;
+    /** Enable the paper's PT-group-first / prefetch-group-next order. */
+    bool tempoGrouping = false;
+
+    // --- BLISS (Subramanian et al., ICCD 2014) ---
+    unsigned blissThreshold = 8;      //!< blacklist at this count
+    Cycle blissClearInterval = 10000; //!< clear blacklist this often
+    unsigned blissNormalWeight = 2;   //!< counter weight, demand
+    unsigned blissPrefetchWeight = 1; //!< counter weight, prefetch
+    /** Serve a PT access' prefetch before switching app streams. */
+    bool blissTempoAffinity = false;
+};
+
+/**
+ * Scheduling policy interface: given the queued requests of one channel,
+ * pick the index to serve next.
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Pick the next request; @p queue is non-empty. */
+    virtual std::size_t pick(const std::vector<QueuedRequest> &queue,
+                             const DramDevice &dram, Cycle now) = 0;
+
+    /** Informed after the chosen request is dispatched. */
+    virtual void served(const QueuedRequest &entry, Cycle now);
+};
+
+/** FR-FCFS, optionally with TEMPO's PT/prefetch row grouping. */
+class FrFcfsScheduler : public Scheduler
+{
+  public:
+    explicit FrFcfsScheduler(const SchedulerConfig &cfg);
+
+    std::size_t pick(const std::vector<QueuedRequest> &queue,
+                     const DramDevice &dram, Cycle now) override;
+
+  protected:
+    /**
+     * Score one candidate: higher wins. Exposed to subclasses so BLISS
+     * can combine its blacklisting with the same base ordering.
+     */
+    std::uint64_t baseScore(const QueuedRequest &entry,
+                            const DramDevice &dram, Cycle now) const;
+
+    SchedulerConfig cfg_;
+};
+
+} // namespace tempo
+
+#endif // TEMPO_MC_SCHEDULER_HH

@@ -1,0 +1,67 @@
+#include "prefetch/imp.hh"
+
+namespace tempo {
+
+ImpPrefetcher::ImpPrefetcher(const ImpConfig &cfg)
+    : cfg_(cfg), table_(cfg.prefetchTableEntries), rng_(cfg.seed)
+{
+}
+
+ImpPrefetcher::Entry *
+ImpPrefetcher::findOrAllocate(std::uint32_t stream)
+{
+    Entry *victim = nullptr;
+    for (auto &entry : table_) {
+        if (entry.valid && entry.stream == stream)
+            return &entry;
+        if (!victim || !entry.valid
+            || (victim->valid && entry.lastUse < victim->lastUse)) {
+            victim = &entry;
+        }
+    }
+    victim->valid = true;
+    victim->stream = stream;
+    victim->observations = 0;
+    return victim;
+}
+
+Addr
+ImpPrefetcher::observe(std::uint32_t stream, bool indirect,
+                       Addr future_target)
+{
+    if (!cfg_.enabled || !indirect)
+        return kInvalidAddr;
+
+    Entry *entry = findOrAllocate(stream);
+    entry->lastUse = ++tick_;
+    if (entry->observations < cfg_.trainThreshold) {
+        // Still training in the indirect pattern detector.
+        if (++entry->observations == cfg_.trainThreshold)
+            ++trained_;
+        return kInvalidAddr;
+    }
+    if (future_target == kInvalidAddr)
+        return kInvalidAddr;
+    if (!rng_.chance(cfg_.coverage))
+        return kInvalidAddr;
+    ++issued_;
+    if (!rng_.chance(cfg_.accuracy)) {
+        // Mispredicted indirect address: lands on a wrong nearby page.
+        // The prefetch still translates (thrashing the TLB) and still
+        // moves a line, but the demand reference gets no benefit.
+        ++mispredicted_;
+        const Addr skew = (1 + rng_.below(63)) * kPageBytes;
+        return future_target + skew;
+    }
+    return future_target;
+}
+
+void
+ImpPrefetcher::report(stats::Report &out) const
+{
+    out.add("issued", issued_);
+    out.add("trained_streams", trained_);
+    out.add("mispredicted", mispredicted_);
+}
+
+} // namespace tempo

@@ -1,0 +1,91 @@
+#include "prefetch/stride.hh"
+
+namespace tempo {
+
+StridePrefetcher::StridePrefetcher(const StrideConfig &cfg)
+    : cfg_(cfg), table_(cfg.tableEntries)
+{
+}
+
+StridePrefetcher::Entry *
+StridePrefetcher::findOrAllocate(std::uint32_t stream)
+{
+    Entry *victim = nullptr;
+    for (auto &entry : table_) {
+        if (entry.valid && entry.stream == stream)
+            return &entry;
+        if (!victim || !entry.valid
+            || (victim->valid && entry.lastUse < victim->lastUse)) {
+            victim = &entry;
+        }
+    }
+    *victim = Entry{};
+    victim->valid = true;
+    victim->stream = stream;
+    return victim;
+}
+
+void
+StridePrefetcher::observe(std::uint32_t stream, Addr vaddr,
+                          std::vector<Addr> &out)
+{
+    out.clear();
+    if (!cfg_.enabled)
+        return;
+
+    Entry *entry = findOrAllocate(stream);
+    entry->lastUse = ++tick_;
+
+    const auto observed =
+        static_cast<std::int64_t>(vaddr)
+        - static_cast<std::int64_t>(entry->lastAddr);
+    const bool had_history = entry->lastAddr != 0;
+    entry->lastAddr = vaddr;
+
+    if (!had_history)
+        return;
+    if (observed == entry->stride && observed != 0) {
+        if (entry->confidence < 3)
+            ++entry->confidence;
+    } else {
+        entry->stride = observed;
+        entry->confidence = 0;
+        return;
+    }
+
+    if (entry->confidence < cfg_.confidenceThreshold)
+        return;
+
+    // Confident: prefetch `degree` consecutive stride steps, starting
+    // `distance` strides ahead of the demand address.
+    for (unsigned d = 0; d < cfg_.degree; ++d) {
+        const std::int64_t steps =
+            static_cast<std::int64_t>(cfg_.distance + d);
+        const std::int64_t target =
+            static_cast<std::int64_t>(vaddr) + entry->stride * steps;
+        if (target <= 0)
+            break;
+        out.push_back(static_cast<Addr>(target));
+        ++issued_;
+    }
+}
+
+std::uint64_t
+StridePrefetcher::confidentStreams() const
+{
+    std::uint64_t count = 0;
+    for (const auto &entry : table_) {
+        if (entry.valid && entry.confidence >= cfg_.confidenceThreshold)
+            ++count;
+    }
+    return count;
+}
+
+void
+StridePrefetcher::report(stats::Report &out) const
+{
+    out.add("issued", issued_);
+    out.add("confident_streams", confidentStreams());
+}
+
+} // namespace tempo

@@ -1,0 +1,77 @@
+#include "stats/stats.hh"
+
+#include <iomanip>
+
+#include "common/log.hh"
+
+namespace tempo::stats {
+
+void
+Report::add(const std::string &name, double value)
+{
+    entries_.emplace_back(name, value);
+}
+
+void
+Report::add(const std::string &name, std::uint64_t value)
+{
+    entries_.emplace_back(name, static_cast<double>(value));
+}
+
+void
+Report::merge(const std::string &prefix, const Report &other)
+{
+    for (const auto &[name, value] : other.entries_)
+        entries_.emplace_back(prefix + name, value);
+}
+
+double
+Report::get(const std::string &name) const
+{
+    for (const auto &[entry_name, value] : entries_) {
+        if (entry_name == name)
+            return value;
+    }
+    TEMPO_PANIC("no stat named '", name, "'");
+}
+
+bool
+Report::has(const std::string &name) const
+{
+    for (const auto &[entry_name, value] : entries_) {
+        (void)value;
+        if (entry_name == name)
+            return true;
+    }
+    return false;
+}
+
+void
+Report::printText(std::ostream &os) const
+{
+    for (const auto &[name, value] : entries_) {
+        os << std::left << std::setw(44) << name << " = "
+           << std::setprecision(6) << value << '\n';
+    }
+}
+
+void
+Report::printCsv(std::ostream &os) const
+{
+    bool first = true;
+    for (const auto &[name, value] : entries_) {
+        (void)value;
+        os << (first ? "" : ",") << name;
+        first = false;
+    }
+    os << '\n';
+    first = true;
+    for (const auto &[name, value] : entries_) {
+        (void)name;
+        os << (first ? "" : ",") << std::setprecision(10) << value;
+        first = false;
+    }
+    os << '\n';
+}
+
+} // namespace tempo::stats

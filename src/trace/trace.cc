@@ -1,0 +1,160 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace tempo {
+namespace {
+
+constexpr char kMagic[4] = {'T', 'M', 'P', 'O'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+    void
+    operator()(std::FILE *file) const
+    {
+        if (file)
+            std::fclose(file);
+    }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+void
+writeScalar(std::FILE *file, T value)
+{
+    if (std::fwrite(&value, sizeof(value), 1, file) != 1)
+        TEMPO_FATAL("short write to trace file");
+}
+
+template <typename T>
+T
+readScalar(std::FILE *file)
+{
+    T value{};
+    if (std::fread(&value, sizeof(value), 1, file) != 1)
+        TEMPO_FATAL("short read from trace file");
+    return value;
+}
+
+} // namespace
+
+Trace
+recordTrace(Workload &workload, std::uint64_t count)
+{
+    Trace trace;
+    trace.name = workload.name();
+    trace.refs.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        trace.refs.push_back(workload.next());
+    return trace;
+}
+
+void
+writeTrace(const Trace &trace, const std::string &path)
+{
+    FilePtr file(std::fopen(path.c_str(), "wb"));
+    if (!file)
+        TEMPO_FATAL("cannot open trace file for writing: ", path);
+
+    if (std::fwrite(kMagic, sizeof(kMagic), 1, file.get()) != 1)
+        TEMPO_FATAL("short write to trace file");
+    writeScalar(file.get(), kVersion);
+    writeScalar(file.get(),
+                static_cast<std::uint64_t>(trace.refs.size()));
+    writeScalar(file.get(),
+                static_cast<std::uint32_t>(trace.name.size()));
+    if (!trace.name.empty()
+        && std::fwrite(trace.name.data(), trace.name.size(), 1,
+                       file.get()) != 1) {
+        TEMPO_FATAL("short write to trace file");
+    }
+
+    for (const MemRef &ref : trace.refs) {
+        writeScalar(file.get(), ref.vaddr);
+        writeScalar(file.get(), ref.indirectFuture);
+        writeScalar(file.get(), ref.stream);
+        const std::uint8_t flags =
+            static_cast<std::uint8_t>(ref.isWrite ? 1 : 0)
+            | static_cast<std::uint8_t>(ref.indirect ? 2 : 0);
+        writeScalar(file.get(), flags);
+    }
+}
+
+Trace
+readTrace(const std::string &path)
+{
+    FilePtr file(std::fopen(path.c_str(), "rb"));
+    if (!file)
+        TEMPO_FATAL("cannot open trace file: ", path);
+
+    char magic[4];
+    if (std::fread(magic, sizeof(magic), 1, file.get()) != 1
+        || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        TEMPO_FATAL("not a TEMPO trace file: ", path);
+    }
+    const auto version = readScalar<std::uint32_t>(file.get());
+    if (version != kVersion)
+        TEMPO_FATAL("unsupported trace version ", version);
+
+    Trace trace;
+    const auto count = readScalar<std::uint64_t>(file.get());
+    const auto name_len = readScalar<std::uint32_t>(file.get());
+    trace.name.resize(name_len);
+    if (name_len > 0
+        && std::fread(trace.name.data(), name_len, 1, file.get())
+            != 1) {
+        TEMPO_FATAL("short read from trace file");
+    }
+
+    trace.refs.resize(count);
+    for (MemRef &ref : trace.refs) {
+        ref.vaddr = readScalar<std::uint64_t>(file.get());
+        ref.indirectFuture = readScalar<std::uint64_t>(file.get());
+        ref.stream = readScalar<std::uint32_t>(file.get());
+        const auto flags = readScalar<std::uint8_t>(file.get());
+        ref.isWrite = (flags & 1) != 0;
+        ref.indirect = (flags & 2) != 0;
+    }
+    return trace;
+}
+
+TraceWorkload::TraceWorkload(Trace trace, unsigned mlp_hint)
+    : trace_(std::move(trace)), mlpHint_(mlp_hint)
+{
+    TEMPO_ASSERT(!trace_.refs.empty(), "empty trace");
+}
+
+MemRef
+TraceWorkload::next()
+{
+    if (cursor_ >= trace_.refs.size()) {
+        if (!warnedWrap_) {
+            TEMPO_WARN("trace '", trace_.name,
+                       "' wrapped around; statistics past this point "
+                       "replay earlier behaviour");
+            warnedWrap_ = true;
+        }
+        cursor_ = 0;
+    }
+    return trace_.refs[cursor_++];
+}
+
+Addr
+TraceWorkload::footprintBytes() const
+{
+    if (footprintCache_ == 0) {
+        Addr lo = ~Addr{0}, hi = 0;
+        for (const MemRef &ref : trace_.refs) {
+            lo = std::min(lo, ref.vaddr);
+            hi = std::max(hi, ref.vaddr);
+        }
+        footprintCache_ = hi >= lo ? hi - lo + 1 : 0;
+    }
+    return footprintCache_;
+}
+
+} // namespace tempo

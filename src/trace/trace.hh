@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Trace capture and replay.
+ *
+ * The paper's methodology collects Pin memory traces once and feeds
+ * them to the timing simulator many times (Sec. 5.2). This module
+ * provides the same workflow for the synthetic generators (or any
+ * Workload): record a reference stream to a compact binary file, then
+ * replay it as a Workload — bit-identical across runs and machines, so
+ * traces can be shared between experiments.
+ *
+ * File format (little-endian):
+ *   header:  magic "TMPO" | u32 version | u64 count | u32 name_len |
+ *            name bytes
+ *   records: u64 vaddr | u64 indirectFuture | u32 stream | u8 flags
+ *            (bit0 = isWrite, bit1 = indirect)
+ */
+
+#ifndef TEMPO_TRACE_TRACE_HH
+#define TEMPO_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace tempo {
+
+/** In-memory trace: a named sequence of references. */
+struct Trace {
+    std::string name;
+    std::vector<MemRef> refs;
+};
+
+/** Capture @p count references from @p workload. */
+Trace recordTrace(Workload &workload, std::uint64_t count);
+
+/** Serialize @p trace to @p path. Fatal on I/O failure. */
+void writeTrace(const Trace &trace, const std::string &path);
+
+/** Load a trace file. Fatal on missing/corrupt files. */
+Trace readTrace(const std::string &path);
+
+/**
+ * A Workload that replays a trace, looping when the simulator asks for
+ * more references than the trace holds (with a warning the first
+ * time). mlpHint can be supplied since the file does not carry it.
+ */
+class TraceWorkload : public Workload
+{
+  public:
+    explicit TraceWorkload(Trace trace, unsigned mlp_hint = 4);
+
+    const std::string &name() const override { return trace_.name; }
+    MemRef next() override;
+    Addr footprintBytes() const override;
+    unsigned mlpHint() const override { return mlpHint_; }
+
+    std::uint64_t size() const { return trace_.refs.size(); }
+
+  private:
+    Trace trace_;
+    std::size_t cursor_ = 0;
+    unsigned mlpHint_;
+    bool warnedWrap_ = false;
+    mutable Addr footprintCache_ = 0;
+};
+
+} // namespace tempo
+
+#endif // TEMPO_TRACE_TRACE_HH

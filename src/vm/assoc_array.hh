@@ -1,0 +1,155 @@
+/**
+ * @file
+ * A small generic set-associative array of 64-bit keys with true LRU,
+ * reused by the TLBs and MMU caches. Values are optional per-entry
+ * payloads (e.g. the page size of a unified-TLB entry).
+ */
+
+#ifndef TEMPO_VM_ASSOC_ARRAY_HH
+#define TEMPO_VM_ASSOC_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace tempo {
+
+template <typename Payload = std::uint8_t>
+class AssocArray
+{
+  public:
+    AssocArray(unsigned entries, unsigned assoc)
+        : assoc_(assoc)
+    {
+        TEMPO_ASSERT(entries > 0 && assoc > 0, "empty array");
+        if (assoc_ > entries)
+            assoc_ = entries;
+        sets_ = entries / assoc_;
+        if (sets_ == 0)
+            sets_ = 1;
+        TEMPO_ASSERT(isPow2(sets_), "set count must be a power of two, "
+                     "got ", sets_, " from ", entries, "/", assoc);
+        slots_.resize(static_cast<std::size_t>(sets_) * assoc_);
+    }
+
+    /** Look up @p key; on hit promotes to MRU and returns the payload. */
+    const Payload *
+    lookup(std::uint64_t key)
+    {
+        Slot *slot = find(key);
+        if (!slot) {
+            ++misses_;
+            return nullptr;
+        }
+        slot->lastUse = ++tick_;
+        ++hits_;
+        return &slot->payload;
+    }
+
+    /** Presence probe without LRU update or stats. */
+    bool
+    contains(std::uint64_t key) const
+    {
+        return const_cast<AssocArray *>(this)->find(key) != nullptr;
+    }
+
+    /** Insert (or refresh) @p key with @p payload. */
+    void
+    insert(std::uint64_t key, const Payload &payload = Payload{})
+    {
+        const unsigned set = setOf(key);
+        Slot *victim = nullptr;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            Slot &slot = slots_[static_cast<std::size_t>(set) * assoc_
+                                + w];
+            if (slot.valid && slot.key == key) {
+                slot.payload = payload;
+                slot.lastUse = ++tick_;
+                return;
+            }
+            if (!victim || !slot.valid
+                || (victim->valid && slot.lastUse < victim->lastUse)) {
+                victim = &slot;
+            }
+        }
+        victim->valid = true;
+        victim->key = key;
+        victim->payload = payload;
+        victim->lastUse = ++tick_;
+    }
+
+    /** Remove @p key if present. */
+    void
+    invalidate(std::uint64_t key)
+    {
+        if (Slot *slot = find(key))
+            slot->valid = false;
+    }
+
+    void
+    reset()
+    {
+        for (auto &slot : slots_)
+            slot.valid = false;
+        hits_ = 0;
+        misses_ = 0;
+        tick_ = 0;
+    }
+
+    /** Clear the hit/miss counters, keeping contents (warmup). */
+    void
+    resetStats()
+    {
+        hits_ = 0;
+        misses_ = 0;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = hits_ + misses_;
+        return total ? static_cast<double>(hits_)
+                / static_cast<double>(total)
+                     : 0.0;
+    }
+
+    unsigned capacity() const { return sets_ * assoc_; }
+
+  private:
+    struct Slot {
+        bool valid = false;
+        std::uint64_t key = 0;
+        Payload payload{};
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned setOf(std::uint64_t key) const { return key & (sets_ - 1); }
+
+    Slot *
+    find(std::uint64_t key)
+    {
+        const unsigned set = setOf(key);
+        for (unsigned w = 0; w < assoc_; ++w) {
+            Slot &slot =
+                slots_[static_cast<std::size_t>(set) * assoc_ + w];
+            if (slot.valid && slot.key == key)
+                return &slot;
+        }
+        return nullptr;
+    }
+
+    unsigned assoc_;
+    unsigned sets_;
+    std::vector<Slot> slots_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace tempo
+
+#endif // TEMPO_VM_ASSOC_ARRAY_HH

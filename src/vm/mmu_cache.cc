@@ -1,0 +1,84 @@
+#include "vm/mmu_cache.hh"
+
+#include "common/log.hh"
+
+namespace tempo {
+
+MmuCache::MmuCache(const MmuCacheConfig &cfg)
+    : cfg_(cfg),
+      l2_(cfg.entriesPerLevel, cfg.assoc),
+      l3_(cfg.entriesPerLevel, cfg.assoc),
+      l4_(cfg.entriesPerLevel, cfg.assoc)
+{
+}
+
+std::uint64_t
+MmuCache::keyFor(Addr vaddr, int level)
+{
+    // The entry at level L is indexed by the VPN bits of levels 4..L,
+    // i.e. everything above the (L-1) boundary.
+    const unsigned shift = 12 + 9 * static_cast<unsigned>(level - 1);
+    return vaddr >> shift;
+}
+
+int
+MmuCache::deepestCached(Addr vaddr)
+{
+    if (l2_.lookup(keyFor(vaddr, 2))) {
+        ++hits_;
+        return 2;
+    }
+    if (l3_.lookup(keyFor(vaddr, 3))) {
+        ++hits_;
+        return 3;
+    }
+    if (l4_.lookup(keyFor(vaddr, 4))) {
+        ++hits_;
+        return 4;
+    }
+    ++misses_;
+    return 5;
+}
+
+void
+MmuCache::fill(Addr vaddr, int level)
+{
+    TEMPO_ASSERT(level >= 2 && level <= 4,
+                 "MMU caches hold upper levels only, got ", level);
+    switch (level) {
+      case 2: l2_.insert(keyFor(vaddr, 2)); break;
+      case 3: l3_.insert(keyFor(vaddr, 3)); break;
+      case 4: l4_.insert(keyFor(vaddr, 4)); break;
+      default: break;
+    }
+}
+
+void
+MmuCache::resetStats()
+{
+    l2_.resetStats();
+    l3_.resetStats();
+    l4_.resetStats();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+void
+MmuCache::reset()
+{
+    l2_.reset();
+    l3_.reset();
+    l4_.reset();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+void
+MmuCache::report(stats::Report &out) const
+{
+    out.add("hits", hits_);
+    out.add("misses", misses_);
+    out.add("hit_rate", stats::ratio(hits_, hits_ + misses_));
+}
+
+} // namespace tempo

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * MMU caches (paging-structure caches): small associative caches of
+ * upper-level page-table entries (L4, L3, L2), letting walks skip levels
+ * (Barr et al. ISCA 2010; Bhattacharjee MICRO 2013). Leaf entries are
+ * never held here — that is the TLB's job.
+ */
+
+#ifndef TEMPO_VM_MMU_CACHE_HH
+#define TEMPO_VM_MMU_CACHE_HH
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+#include "vm/assoc_array.hh"
+
+namespace tempo {
+
+struct MmuCacheConfig {
+    unsigned entriesPerLevel = 32;
+    unsigned assoc = 4;
+    Cycle latency = 1;
+};
+
+class MmuCache
+{
+  public:
+    explicit MmuCache(const MmuCacheConfig &cfg);
+
+    /**
+     * Deepest level whose entry is cached for @p vaddr: returns 2, 3, or
+     * 4 if the corresponding PT entry is cached (so the walk can start at
+     * the level *below*), or 5 if nothing is cached (walk starts at L4).
+     * E.g. a return of 2 means the L2 PTE is cached, so only the L1 PTE
+     * must be fetched.
+     */
+    int deepestCached(Addr vaddr);
+
+    /** Record that the walk observed the PT entry at @p level (2..4). */
+    void fill(Addr vaddr, int level);
+
+    void reset();
+
+    /** Clear hit/miss counters, keeping entries (warmup support). */
+    void resetStats();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    void report(stats::Report &out) const;
+
+  private:
+    static std::uint64_t keyFor(Addr vaddr, int level);
+
+    MmuCacheConfig cfg_;
+    AssocArray<std::uint8_t> l2_; //!< caches L2 PT entries
+    AssocArray<std::uint8_t> l3_; //!< caches L3 PT entries
+    AssocArray<std::uint8_t> l4_; //!< caches L4 PT entries
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace tempo
+
+#endif // TEMPO_VM_MMU_CACHE_HH

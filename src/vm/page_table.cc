@@ -1,0 +1,108 @@
+#include "vm/page_table.hh"
+
+#include "common/log.hh"
+
+namespace tempo {
+
+PageTable::PageTable(OsMemory &os) : os_(os)
+{
+    root_ = std::make_unique<Node>();
+    root_->physBase = os_.allocPtNode();
+    nodeCount_ = 1;
+}
+
+PageTable::~PageTable() = default;
+
+unsigned
+PageTable::indexAt(Addr vaddr, int level)
+{
+    TEMPO_ASSERT(level >= 1 && level <= 4, "bad page table level ", level);
+    const unsigned shift = 12 + 9 * static_cast<unsigned>(level - 1);
+    return static_cast<unsigned>((vaddr >> shift) & 0x1ff);
+}
+
+PageTable::Node *
+PageTable::ensureChild(Node *node, unsigned index)
+{
+    Entry &entry = node->entries[index];
+    TEMPO_ASSERT(!entry.isLeaf,
+                 "remapping a leaf PTE as an intermediate node");
+    if (!entry.present) {
+        entry.present = true;
+        entry.child = std::make_unique<Node>();
+        entry.child->physBase = os_.allocPtNode();
+        ++nodeCount_;
+    }
+    return entry.child.get();
+}
+
+void
+PageTable::map(Addr vaddr, PageSize size, Addr pframe)
+{
+    TEMPO_ASSERT(pframe % pageBytes(size) == 0,
+                 "frame not aligned to page size");
+    const int leaf = leafLevel(size);
+    Node *node = root_.get();
+    for (int level = 4; level > leaf; --level)
+        node = ensureChild(node, indexAt(vaddr, level));
+
+    Entry &entry = node->entries[indexAt(vaddr, leaf)];
+    TEMPO_ASSERT(!entry.present, "double mapping of vaddr ", vaddr);
+    entry.present = true;
+    entry.isLeaf = true;
+    entry.pframe = pframe;
+    entry.size = size;
+}
+
+Translation
+PageTable::translate(Addr vaddr) const
+{
+    const Node *node = root_.get();
+    for (int level = 4; level >= 1; --level) {
+        const auto it = node->entries.find(indexAt(vaddr, level));
+        if (it == node->entries.end() || !it->second.present)
+            return Translation{};
+        const Entry &entry = it->second;
+        if (entry.isLeaf) {
+            Translation result;
+            result.valid = true;
+            result.pframe = entry.pframe;
+            result.size = entry.size;
+            return result;
+        }
+        node = entry.child.get();
+    }
+    return Translation{};
+}
+
+WalkResult
+PageTable::walk(Addr vaddr) const
+{
+    WalkResult result;
+    const Node *node = root_.get();
+    for (int level = 4; level >= 1; --level) {
+        const unsigned index = indexAt(vaddr, level);
+        result.steps.push_back(
+            WalkStep{level, node->physBase + index * kPteBytes});
+        const auto it = node->entries.find(index);
+        if (it == node->entries.end() || !it->second.present)
+            return result; // fault: last step read a non-present PTE
+        const Entry &entry = it->second;
+        if (entry.isLeaf) {
+            result.xlate.valid = true;
+            result.xlate.pframe = entry.pframe;
+            result.xlate.size = entry.size;
+            return result;
+        }
+        node = entry.child.get();
+    }
+    TEMPO_PANIC("walk descended past L1");
+}
+
+Addr
+PageTable::rootAddr() const
+{
+    return root_->physBase;
+}
+
+} // namespace tempo

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * An x86-64-style 4-level radix page table materialized in *simulated*
+ * physical memory: every table node occupies a real 4KB frame obtained
+ * from the OS model, so page-table walker references have physical
+ * addresses that hit real DRAM rows and real cache sets — the property
+ * TEMPO's whole mechanism rests on.
+ *
+ * Levels are numbered as in the paper: L4 is the root (CR3 points at it),
+ * L1 is the leaf for 4KB pages. 2MB pages terminate at L2; 1GB at L3.
+ */
+
+#ifndef TEMPO_VM_PAGE_TABLE_HH
+#define TEMPO_VM_PAGE_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "vm/os_memory.hh"
+
+namespace tempo {
+
+/** One page-table fetch the hardware walker must perform. */
+struct WalkStep {
+    int level;     //!< 4 (root) down to the leaf level
+    Addr pteAddr;  //!< physical address of the 8-byte PTE
+};
+
+/** Result of translating a virtual address. */
+struct Translation {
+    bool valid = false;
+    Addr pframe = kInvalidAddr; //!< physical frame base
+    PageSize size = PageSize::Page4K;
+
+    /** Physical address corresponding to @p vaddr under this mapping. */
+    Addr
+    physAddr(Addr vaddr) const
+    {
+        return pframe + (vaddr & (pageBytes(size) - 1));
+    }
+};
+
+/** Full structural walk: the PTE fetch sequence plus the outcome. */
+struct WalkResult {
+    Translation xlate;
+    /** PTE addresses from L4 down to the last level probed. For a valid
+     * walk the last step is the leaf PTE; for a fault it is the first
+     * non-present entry. */
+    std::vector<WalkStep> steps;
+};
+
+class PageTable
+{
+  public:
+    explicit PageTable(OsMemory &os);
+    ~PageTable();
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /**
+     * Install a mapping for the page containing @p vaddr.
+     * @p pframe must be aligned to the page size. Intermediate nodes are
+     * created (and given physical frames) on demand.
+     */
+    void map(Addr vaddr, PageSize size, Addr pframe);
+
+    /** Translate without touching hardware structures. */
+    Translation translate(Addr vaddr) const;
+
+    /** Structural walk: exactly the PTE fetches a hardware walker makes. */
+    WalkResult walk(Addr vaddr) const;
+
+    /** Physical address of the root (CR3 contents). */
+    Addr rootAddr() const;
+
+    /** Number of table nodes (== 4KB frames consumed by this table). */
+    std::uint64_t nodeCount() const { return nodeCount_; }
+
+    /** Virtual-page index bits for @p level (9 bits per level). */
+    static unsigned indexAt(Addr vaddr, int level);
+
+  private:
+    struct Node;
+    struct Entry {
+        bool present = false;
+        bool isLeaf = false;
+        Addr pframe = 0;               //!< leaf: frame base
+        PageSize size = PageSize::Page4K;
+        std::unique_ptr<Node> child;   //!< non-leaf: next level node
+    };
+    struct Node {
+        Addr physBase;
+        std::unordered_map<unsigned, Entry> entries;
+    };
+
+    Node *ensureChild(Node *node, unsigned index);
+
+    OsMemory &os_;
+    std::unique_ptr<Node> root_;
+    std::uint64_t nodeCount_ = 0;
+};
+
+} // namespace tempo
+
+#endif // TEMPO_VM_PAGE_TABLE_HH

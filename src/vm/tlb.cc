@@ -1,0 +1,116 @@
+#include "vm/tlb.hh"
+
+namespace tempo {
+
+Tlb::Tlb(const TlbConfig &cfg)
+    : cfg_(cfg),
+      l14k_(cfg.l1Entries4K, cfg.l1Assoc4K),
+      l12m_(cfg.l1Entries2M, cfg.l1Assoc2M),
+      l11g_(cfg.l1Entries1G, cfg.l1Assoc1G),
+      l2_(cfg.l2Entries, cfg.l2Assoc)
+{
+}
+
+std::uint64_t
+Tlb::keyFor(Addr vaddr, PageSize size)
+{
+    // Tag keys with the page size in the low bits so a unified array can
+    // hold multiple sizes without aliasing.
+    const Addr vpn = vaddr / pageBytes(size);
+    return (vpn << 2) | static_cast<std::uint64_t>(size);
+}
+
+TlbResult
+Tlb::lookup(Addr vaddr)
+{
+    TlbResult result;
+    result.latency = cfg_.l1Latency;
+
+    // All three L1 sub-TLBs probe in parallel.
+    if (l14k_.lookup(keyFor(vaddr, PageSize::Page4K))) {
+        result.hit = true;
+        result.size = PageSize::Page4K;
+    } else if (l12m_.lookup(keyFor(vaddr, PageSize::Page2M))) {
+        result.hit = true;
+        result.size = PageSize::Page2M;
+    } else if (l11g_.lookup(keyFor(vaddr, PageSize::Page1G))) {
+        result.hit = true;
+        result.size = PageSize::Page1G;
+    }
+    if (result.hit) {
+        ++l1Hits_;
+        return result;
+    }
+
+    // Unified L2: probe with both 4KB and 2MB keys.
+    result.latency += cfg_.l2Latency;
+    if (l2_.lookup(keyFor(vaddr, PageSize::Page4K))) {
+        result.hit = true;
+        result.size = PageSize::Page4K;
+        l14k_.insert(keyFor(vaddr, PageSize::Page4K));
+    } else if (l2_.lookup(keyFor(vaddr, PageSize::Page2M))) {
+        result.hit = true;
+        result.size = PageSize::Page2M;
+        l12m_.insert(keyFor(vaddr, PageSize::Page2M));
+    }
+    if (result.hit) {
+        ++l2Hits_;
+        return result;
+    }
+
+    ++misses_;
+    return result;
+}
+
+void
+Tlb::fill(Addr vaddr, PageSize size)
+{
+    switch (size) {
+      case PageSize::Page4K:
+        l14k_.insert(keyFor(vaddr, size));
+        l2_.insert(keyFor(vaddr, size));
+        break;
+      case PageSize::Page2M:
+        l12m_.insert(keyFor(vaddr, size));
+        l2_.insert(keyFor(vaddr, size));
+        break;
+      case PageSize::Page1G:
+        l11g_.insert(keyFor(vaddr, size));
+        break;
+    }
+}
+
+void
+Tlb::resetStats()
+{
+    l14k_.resetStats();
+    l12m_.resetStats();
+    l11g_.resetStats();
+    l2_.resetStats();
+    l1Hits_ = 0;
+    l2Hits_ = 0;
+    misses_ = 0;
+}
+
+void
+Tlb::flush()
+{
+    l14k_.reset();
+    l12m_.reset();
+    l11g_.reset();
+    l2_.reset();
+    l1Hits_ = 0;
+    l2Hits_ = 0;
+    misses_ = 0;
+}
+
+void
+Tlb::report(stats::Report &out) const
+{
+    out.add("l1_hits", l1Hits_);
+    out.add("l2_hits", l2Hits_);
+    out.add("misses", misses_);
+    out.add("miss_rate", missRate());
+}
+
+} // namespace tempo

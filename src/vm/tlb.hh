@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Two-level TLB, Skylake-style: split L1 TLBs per page size, plus a
+ * unified L2 (STLB) that holds 4KB and 2MB entries.
+ */
+
+#ifndef TEMPO_VM_TLB_HH
+#define TEMPO_VM_TLB_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+#include "vm/assoc_array.hh"
+
+namespace tempo {
+
+struct TlbConfig {
+    unsigned l1Entries4K = 64;
+    unsigned l1Assoc4K = 4;
+    unsigned l1Entries2M = 32;
+    unsigned l1Assoc2M = 4;
+    unsigned l1Entries1G = 4;
+    unsigned l1Assoc1G = 4;
+    unsigned l2Entries = 1536;
+    unsigned l2Assoc = 12;
+    Cycle l1Latency = 1;
+    Cycle l2Latency = 7;
+};
+
+/** Outcome of a TLB probe. */
+struct TlbResult {
+    bool hit = false;
+    Cycle latency = 0;     //!< probe cycles spent (L1, or L1+L2)
+    PageSize size = PageSize::Page4K; //!< page size of the hit entry
+};
+
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &cfg);
+
+    /**
+     * Probe for @p vaddr. The L1 sub-TLBs are probed in parallel (one L1
+     * latency); on miss the unified L2 is probed for both 4KB and 2MB
+     * keys. 1GB entries live only in their L1 sub-TLB, as on real parts.
+     */
+    TlbResult lookup(Addr vaddr);
+
+    /** Install a translation after a walk. Fills L1 and (for 4K/2M) L2. */
+    void fill(Addr vaddr, PageSize size);
+
+    /** Drop everything (context switch). */
+    void flush();
+
+    /** Clear hit/miss counters, keeping entries (warmup support). */
+    void resetStats();
+
+    std::uint64_t l1Hits() const { return l1Hits_; }
+    std::uint64_t l2Hits() const { return l2Hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t lookups() const
+    {
+        return l1Hits_ + l2Hits_ + misses_;
+    }
+    double
+    missRate() const
+    {
+        return stats::ratio(misses_, lookups());
+    }
+
+    void report(stats::Report &out) const;
+
+  private:
+    static std::uint64_t keyFor(Addr vaddr, PageSize size);
+
+    TlbConfig cfg_;
+    AssocArray<std::uint8_t> l14k_;
+    AssocArray<std::uint8_t> l12m_;
+    AssocArray<std::uint8_t> l11g_;
+    /** Unified L2; payload = PageSize so 4K/2M keys cannot collide. */
+    AssocArray<std::uint8_t> l2_;
+
+    std::uint64_t l1Hits_ = 0;
+    std::uint64_t l2Hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace tempo
+
+#endif // TEMPO_VM_TLB_HH

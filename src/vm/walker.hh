@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The hardware page-table walker's structural half: given a virtual
+ * address, consult the MMU caches and produce the exact sequence of PTE
+ * fetches the walk needs (the timing of those fetches through the cache
+ * hierarchy and DRAM belongs to the system model).
+ *
+ * TEMPO's hardware change lives here conceptually: the walker tags the
+ * *leaf* fetch and appends the replay's cache-line index (Sec. 4.1).
+ */
+
+#ifndef TEMPO_VM_WALKER_HH
+#define TEMPO_VM_WALKER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "vm/mmu_cache.hh"
+#include "vm/page_table.hh"
+
+namespace tempo {
+
+/** A planned page-table walk. */
+struct WalkPlan {
+    /** PTE fetches to perform, top level first. Levels already covered
+     * by MMU cache hits are skipped. The last fetch is the leaf PTE (or,
+     * on a fault, the first non-present entry). */
+    std::vector<WalkStep> fetches;
+    /** Final translation; !valid means the walk faults. */
+    Translation xlate;
+};
+
+class Walker
+{
+  public:
+    Walker(const PageTable &table, MmuCache &mmu);
+
+    /** Build the fetch plan for @p vaddr (probes the MMU caches). */
+    WalkPlan plan(Addr vaddr);
+
+    /** After the fetches complete, install upper-level entries into the
+     * MMU caches (leaf entries go to the TLB, not here). */
+    void finish(Addr vaddr, const WalkPlan &plan);
+
+    std::uint64_t walks() const { return walks_; }
+    std::uint64_t ptRefsIssued() const { return ptRefs_; }
+    std::uint64_t ptRefsSkipped() const { return ptRefsSkipped_; }
+
+  private:
+    const PageTable &table_;
+    MmuCache &mmu_;
+    std::uint64_t walks_ = 0;
+    std::uint64_t ptRefs_ = 0;
+    std::uint64_t ptRefsSkipped_ = 0;
+};
+
+} // namespace tempo
+
+#endif // TEMPO_VM_WALKER_HH

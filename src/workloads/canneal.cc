@@ -1,0 +1,87 @@
+/**
+ * @file
+ * canneal (PARSEC): simulated annealing for chip routing. Memory
+ * signature: random element-pair swaps (read A, read B, write both) over
+ * a large netlist, with occasional spatially-adjacent neighbour reads —
+ * the sharing that makes canneal favour open-row policies (paper
+ * Sec. 6.3).
+ */
+
+#include "workloads/generators.hh"
+
+namespace tempo {
+namespace {
+
+class CannealWorkload : public RegionWorkload
+{
+  public:
+    explicit CannealWorkload(std::uint64_t seed)
+        : RegionWorkload("canneal", 0x110000000000ull, 16ull << 30, seed)
+    {
+    }
+
+    unsigned mlpHint() const override { return 4; }
+
+    MemRef
+    next() override
+    {
+        MemRef ref;
+        switch (phase_) {
+          case 0: // read element A
+            elemA_ = pickElement();
+            ref.vaddr = elemA_;
+            phase_ = 1;
+            break;
+          case 1: // read element B
+            elemB_ = pickElement();
+            ref.vaddr = elemB_;
+            phase_ = 2;
+            break;
+          case 2: // write element A
+            ref.vaddr = elemA_;
+            ref.isWrite = true;
+            phase_ = 3;
+            break;
+          case 3: // write element B, maybe queue neighbour reads
+            ref.vaddr = elemB_;
+            ref.isWrite = true;
+            neighbours_ = rng_.chance(0.4) ? 2 + rng_.below(3) : 0;
+            phase_ = neighbours_ ? 4 : 0;
+            break;
+          default: // spatially-adjacent neighbour reads around B
+            ref.vaddr = alignDown(elemB_, kPageBytes)
+                + rng_.below(kPageBytes);
+            if (--neighbours_ == 0)
+                phase_ = 0;
+            break;
+        }
+        ref.stream = 1;
+        return ref;
+    }
+
+  private:
+    Addr
+    pickElement()
+    {
+        const Addr elems = footprint_ / kElemBytes;
+        // Mild skew: annealing revisits a warm working set.
+        const Addr idx = rng_.skewedBelow(elems, elems / 50, 0.25);
+        return vaBase_ + idx * kElemBytes;
+    }
+
+    static constexpr Addr kElemBytes = 64;
+    int phase_ = 0;
+    unsigned neighbours_ = 0;
+    Addr elemA_ = 0;
+    Addr elemB_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeCanneal(std::uint64_t seed)
+{
+    return std::make_unique<CannealWorkload>(seed);
+}
+
+} // namespace tempo

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Internal factory functions for the individual workload generators.
+ * External code uses makeWorkload() from workload.hh.
+ */
+
+#ifndef TEMPO_WORKLOADS_GENERATORS_HH
+#define TEMPO_WORKLOADS_GENERATORS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "workloads/workload.hh"
+
+namespace tempo {
+
+std::unique_ptr<Workload> makeMcf(std::uint64_t seed);
+std::unique_ptr<Workload> makeCanneal(std::uint64_t seed);
+std::unique_ptr<Workload> makeLsh(std::uint64_t seed);
+std::unique_ptr<Workload> makeSpmv(std::uint64_t seed);
+std::unique_ptr<Workload> makeSgms(std::uint64_t seed);
+std::unique_ptr<Workload> makeGraph500(std::uint64_t seed);
+std::unique_ptr<Workload> makeXsbench(std::uint64_t seed);
+std::unique_ptr<Workload> makeIllustris(std::uint64_t seed);
+
+/** Small-footprint Spec/Parsec-style workloads, selected by name. */
+std::unique_ptr<Workload> makeSmallFootprint(const std::string &name,
+                                             std::uint64_t seed);
+bool isSmallFootprintName(const std::string &name);
+
+} // namespace tempo
+
+#endif // TEMPO_WORKLOADS_GENERATORS_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * graph500: BFS over a scale-free graph. Memory signature: sequential
+ * frontier-queue reads, sequential adjacency-list bursts starting at
+ * random offsets (CSR edge array), and uniform-random visited-bitmap /
+ * vertex probes for each neighbour — the indirect stream.
+ */
+
+#include "workloads/generators.hh"
+
+namespace tempo {
+namespace {
+
+class Graph500Workload : public RegionWorkload
+{
+  public:
+    explicit Graph500Workload(std::uint64_t seed)
+        : RegionWorkload("graph500", 0x150000000000ull, 32ull << 30,
+                         seed),
+          neighbour_([this] {
+              // Scale-free target: a few hub vertices absorb much of
+              // the traffic, the tail is uniform.
+              const Addr vertices = vertexBytes_ / kVertexBytes;
+              const Addr idx =
+                  rng_.skewedBelow(vertices, vertices / 200, 0.25);
+              return vaBase_ + idx * kVertexBytes;
+          })
+    {
+    }
+
+    unsigned mlpHint() const override { return 4; }
+
+    MemRef
+    next() override
+    {
+        MemRef ref;
+        if (edgeBurst_ > 0) {
+            // Walk the adjacency list sequentially...
+            --edgeBurst_;
+            edgeCursor_ += kEdgeBytes;
+            ref.vaddr = edgeCursor_;
+            ref.stream = 2;
+            // ...and probe the neighbour vertex it names.
+            pendingVisits_ += 1;
+            return ref;
+        }
+        if (pendingVisits_ > 0) {
+            --pendingVisits_;
+            const auto [current, future] = neighbour_.next();
+            ref.vaddr = current;
+            ref.stream = 3;
+            ref.indirect = true;
+            ref.indirectFuture = future;
+            ref.isWrite = rng_.chance(0.3); // visited-bitmap update
+            return ref;
+        }
+        // Pop the next frontier vertex (queue is sequential).
+        frontierCursor_ += kVertexBytes;
+        if (frontierCursor_ >= vertexBytes_)
+            frontierCursor_ = 0;
+        ref.vaddr = vaBase_ + frontierCursor_;
+        ref.stream = 1;
+        // Its adjacency list starts at a random edge-array offset.
+        edgeCursor_ = vaBase_ + vertexBytes_
+            + alignDown(rng_.below(footprint_ - vertexBytes_),
+                        kLineBytes);
+        edgeBurst_ = 2 + rng_.below(14);
+        return ref;
+    }
+
+  private:
+    static constexpr Addr kVertexBytes = 16;
+    static constexpr Addr kEdgeBytes = 8;
+    /** Layout: [0, vertexBytes): vertices; rest: CSR edge array. */
+    const Addr vertexBytes_ = 8ull << 30;
+    Addr frontierCursor_ = 0;
+    Addr edgeCursor_ = 0;
+    unsigned edgeBurst_ = 0;
+    unsigned pendingVisits_ = 0;
+    IndirectStream neighbour_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeGraph500(std::uint64_t seed)
+{
+    return std::make_unique<Graph500Workload>(seed);
+}
+
+} // namespace tempo

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * illustris: cosmological simulation analysis. Memory signature: octree
+ * traversals — serial pointer chases of ~6 levels, each landing
+ * uniformly at random in a huge particle/tree arena — with rare
+ * sequential particle-block reads. Lowest MLP of the suite; its access
+ * locality is so poor that closed-row policies beat open-row (paper
+ * Sec. 6.3).
+ */
+
+#include "workloads/generators.hh"
+
+namespace tempo {
+namespace {
+
+class IllustrisWorkload : public RegionWorkload
+{
+  public:
+    explicit IllustrisWorkload(std::uint64_t seed)
+        : RegionWorkload("illustris", 0x170000000000ull, 48ull << 30,
+                         seed)
+    {
+    }
+
+    unsigned mlpHint() const override { return 2; }
+
+    MemRef
+    next() override
+    {
+        MemRef ref;
+        if (chaseRemaining_ > 0) {
+            // Descend one tree level: the child node is anywhere.
+            --chaseRemaining_;
+            ref.vaddr = randomInRegion();
+            ref.stream = 1;
+            return ref;
+        }
+        if (blockRemaining_ > 0) {
+            --blockRemaining_;
+            blockCursor_ += kLineBytes;
+            ref.vaddr = blockCursor_;
+            ref.isWrite = rng_.chance(0.25);
+            ref.stream = 2;
+            return ref;
+        }
+        if (rng_.chance(0.15)) {
+            // Read a particle block sequentially.
+            blockCursor_ = vaBase_
+                + alignDown(rng_.below(footprint_), kLineBytes);
+            blockRemaining_ = 4 + rng_.below(12);
+            ref.vaddr = blockCursor_;
+            ref.stream = 2;
+            return ref;
+        }
+        // Start a new octree descent.
+        chaseRemaining_ = 4 + rng_.below(4);
+        ref.vaddr = randomInRegion();
+        ref.stream = 1;
+        return ref;
+    }
+
+  private:
+    unsigned chaseRemaining_ = 0;
+    unsigned blockRemaining_ = 0;
+    Addr blockCursor_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeIllustris(std::uint64_t seed)
+{
+    return std::make_unique<IllustrisWorkload>(seed);
+}
+
+} // namespace tempo

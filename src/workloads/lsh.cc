@@ -1,0 +1,70 @@
+/**
+ * @file
+ * lsh: locality-sensitive hashing for nearest-neighbour search. Memory
+ * signature: uniform-random bucket probes (hashes scatter by design),
+ * a short sequential scan of the bucket's entries, then fetches of a few
+ * candidate feature vectors far away in the corpus.
+ */
+
+#include "workloads/generators.hh"
+
+namespace tempo {
+namespace {
+
+class LshWorkload : public RegionWorkload
+{
+  public:
+    explicit LshWorkload(std::uint64_t seed)
+        : RegionWorkload("lsh", 0x120000000000ull, 32ull << 30, seed)
+    {
+    }
+
+    unsigned mlpHint() const override { return 4; }
+
+    MemRef
+    next() override
+    {
+        MemRef ref;
+        if (bucketScan_ > 0) {
+            --bucketScan_;
+            cursor_ += kLineBytes;
+            ref.vaddr = cursor_;
+            ref.stream = 1;
+            return ref;
+        }
+        if (candidates_ > 0) {
+            --candidates_;
+            // Candidate vectors: uniform over the corpus half.
+            ref.vaddr = vaBase_ + corpusOff_
+                + rng_.below(footprint_ - corpusOff_);
+            ref.stream = 2;
+            return ref;
+        }
+        // New query: hash to a uniformly random bucket.
+        const Addr buckets = corpusOff_ / kBucketBytes;
+        cursor_ = vaBase_ + rng_.below(buckets) * kBucketBytes;
+        ref.vaddr = cursor_;
+        ref.stream = 1;
+        bucketScan_ = 2 + rng_.below(6);
+        candidates_ = 1 + rng_.below(3);
+        return ref;
+    }
+
+  private:
+    static constexpr Addr kBucketBytes = 512;
+    /** First half: hash tables; second half: feature-vector corpus. */
+    const Addr corpusOff_ = 16ull << 30;
+    Addr cursor_ = 0;
+    unsigned bucketScan_ = 0;
+    unsigned candidates_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLsh(std::uint64_t seed)
+{
+    return std::make_unique<LshWorkload>(seed);
+}
+
+} // namespace tempo

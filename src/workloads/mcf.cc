@@ -1,0 +1,72 @@
+/**
+ * @file
+ * mcf (SPEC CPU): network-simplex minimum-cost flow. Memory signature:
+ * pointer chasing over a large node/arc graph with a skewed hot set
+ * (basis-tree nodes are revisited, the arc array is scanned in bursts),
+ * low memory-level parallelism (the chase is serial).
+ */
+
+#include "workloads/generators.hh"
+
+namespace tempo {
+namespace {
+
+class McfWorkload : public RegionWorkload
+{
+  public:
+    explicit McfWorkload(std::uint64_t seed)
+        : RegionWorkload("mcf", 0x100000000000ull, 24ull << 30, seed)
+    {
+    }
+
+    unsigned mlpHint() const override { return 2; }
+
+    MemRef
+    next() override
+    {
+        MemRef ref;
+        if (scanRemaining_ > 0) {
+            // Arc-array scan burst: sequential 64B strides.
+            --scanRemaining_;
+            scanCursor_ += kLineBytes;
+            if (scanCursor_ >= footprint_)
+                scanCursor_ = 0;
+            ref.vaddr = vaBase_ + scanCursor_;
+            ref.isWrite = rng_.chance(0.1);
+            ref.stream = 1;
+            return ref;
+        }
+        if (rng_.chance(0.15)) {
+            // Start a new arc scan burst somewhere in the arc array.
+            scanRemaining_ = 8 + rng_.below(24);
+            scanCursor_ = alignDown(rng_.below(footprint_), kLineBytes);
+            ref.vaddr = vaBase_ + scanCursor_;
+            ref.stream = 1;
+            return ref;
+        }
+        // Pointer chase through nodes: skewed reuse — ~30% of chases
+        // land in the hot 1% (basis tree), the rest roam the graph.
+        const Addr node =
+            rng_.skewedBelow(footprint_ / kNodeBytes,
+                             footprint_ / kNodeBytes / 100, 0.30);
+        ref.vaddr = vaBase_ + node * kNodeBytes + rng_.below(kNodeBytes);
+        ref.isWrite = rng_.chance(0.2);
+        ref.stream = 2;
+        return ref;
+    }
+
+  private:
+    static constexpr Addr kNodeBytes = 128;
+    unsigned scanRemaining_ = 0;
+    Addr scanCursor_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMcf(std::uint64_t seed)
+{
+    return std::make_unique<McfWorkload>(seed);
+}
+
+} // namespace tempo

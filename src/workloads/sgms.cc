@@ -1,0 +1,90 @@
+/**
+ * @file
+ * sgms: symmetric Gauss-Seidel smoother — forward and backward
+ * triangular solves. Memory signature: a sweeping sequential row cursor
+ * with, per row, a handful of indirect reads of previously-computed
+ * unknowns at sparse off-diagonal positions (moderate locality: the
+ * off-diagonals cluster near the diagonal but have a long tail).
+ */
+
+#include "workloads/generators.hh"
+
+namespace tempo {
+namespace {
+
+class SgmsWorkload : public RegionWorkload
+{
+  public:
+    explicit SgmsWorkload(std::uint64_t seed)
+        : RegionWorkload("sgms", 0x140000000000ull, 16ull << 30, seed),
+          offdiag_([this] { return offDiagTarget(); })
+    {
+    }
+
+    unsigned mlpHint() const override { return 3; }
+
+    MemRef
+    next() override
+    {
+        MemRef ref;
+        if (rowReads_ > 0) {
+            --rowReads_;
+            const auto [current, future] = offdiag_.next();
+            ref.vaddr = current;
+            ref.stream = 2;
+            ref.indirect = true;
+            ref.indirectFuture = future;
+            return ref;
+        }
+
+        // Advance the sweep cursor (forward, then backward).
+        if (forward_) {
+            row_ += kRowBytes;
+            if (row_ + kRowBytes >= footprint_ / 2)
+                forward_ = false;
+        } else {
+            if (row_ < kRowBytes) {
+                forward_ = true;
+                row_ = 0;
+            } else {
+                row_ -= kRowBytes;
+            }
+        }
+        ref.vaddr = vaBase_ + row_;
+        ref.isWrite = true; // x[row] update
+        ref.stream = 1;
+        rowReads_ = 2 + rng_.below(4);
+        return ref;
+    }
+
+  private:
+    Addr
+    offDiagTarget()
+    {
+        // 60% of off-diagonals are within a 64MB band of the cursor;
+        // the rest scatter over the whole unknown vector.
+        if (rng_.chance(0.6)) {
+            const Addr band = 64ull << 20;
+            const Addr lo = row_ > band ? row_ - band : 0;
+            return vaBase_ + lo + rng_.below(band);
+        }
+        return vaBase_ + (footprint_ / 2)
+            + rng_.below(footprint_ / 2);
+    }
+
+    static constexpr Addr kRowBytes = 8;
+    bool forward_ = true;
+    Addr row_ = 0;
+    unsigned rowReads_ = 0;
+    IndirectStream offdiag_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSgms(std::uint64_t seed)
+{
+    return std::make_unique<SgmsWorkload>(seed);
+}
+
+} // namespace tempo

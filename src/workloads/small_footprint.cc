@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Small-footprint Spec/Parsec-style workloads (paper Fig. 11 right):
+ * footprints of tens to a couple hundred MB with strong locality, so
+ * DRAM page-table accesses are rare. The paper uses them to show TEMPO
+ * does no harm; we parameterize one generator family by per-workload
+ * footprint, hot-set geometry, and streaming share.
+ */
+
+#include "workloads/generators.hh"
+
+#include <unordered_map>
+
+#include "common/log.hh"
+
+namespace tempo {
+namespace {
+
+struct SmallParams {
+    Addr footprint;
+    double hotFraction;   //!< probability a reference hits the hot set
+    Addr hotBytes;        //!< hot-set size
+    double streamShare;   //!< probability of sequential-burst mode
+    double writeShare;
+    unsigned mlp;
+};
+
+const std::unordered_map<std::string, SmallParams> &
+paramTable()
+{
+    static const std::unordered_map<std::string, SmallParams> table = {
+        // name                fp          hot%  hotB        str   wr    mlp
+        {"astar.small",     {96ull << 20, 0.75, 4ull << 20, 0.20, 0.15, 4}},
+        {"bzip2.small",     {64ull << 20, 0.80, 8ull << 20, 0.50, 0.30, 6}},
+        {"gcc.small",       {128ull << 20, 0.85, 6ull << 20, 0.30, 0.25, 6}},
+        {"gobmk.small",     {32ull << 20, 0.90, 2ull << 20, 0.15, 0.20, 4}},
+        {"hmmer.small",     {48ull << 20, 0.85, 4ull << 20, 0.60, 0.20, 8}},
+        {"x264.small",      {160ull << 20, 0.70, 8ull << 20, 0.65, 0.35, 8}},
+        {"swaptions.small", {24ull << 20, 0.95, 2ull << 20, 0.40, 0.25, 6}},
+        {"ferret.small",    {192ull << 20, 0.65, 8ull << 20, 0.35, 0.15, 8}},
+        {"perlbench.small", {48ull << 20, 0.88, 4ull << 20, 0.25, 0.30, 6}},
+        {"sjeng.small",     {40ull << 20, 0.92, 2ull << 20, 0.10, 0.20, 4}},
+        {"namd.small",      {56ull << 20, 0.80, 6ull << 20, 0.55, 0.25, 8}},
+        {"povray.small",    {16ull << 20, 0.95, 2ull << 20, 0.30, 0.15, 6}},
+        {"blackscholes.small", {24ull << 20, 0.70, 2ull << 20, 0.85, 0.20, 10}},
+        {"bodytrack.small", {64ull << 20, 0.75, 4ull << 20, 0.45, 0.25, 8}},
+        {"freqmine.small",  {96ull << 20, 0.80, 8ull << 20, 0.35, 0.20, 6}},
+        {"fluidanimate.small", {112ull << 20, 0.70, 8ull << 20, 0.60, 0.35, 8}},
+        // A memory-hungrier tier used to give BLISS mixes a range of
+        // intensities (paper Sec. 6.3: "a range of memory intensities").
+        {"lbm.medium",      {1536ull << 20, 0.30, 16ull << 20, 0.70, 0.40, 10}},
+        {"milc.medium",     {1024ull << 20, 0.35, 8ull << 20, 0.40, 0.30, 8}},
+        {"libquantum.medium", {768ull << 20, 0.25, 4ull << 20, 0.90, 0.30, 12}},
+        {"omnetpp.medium",  {640ull << 20, 0.45, 8ull << 20, 0.20, 0.30, 4}},
+        {"soplex.medium",   {896ull << 20, 0.40, 8ull << 20, 0.50, 0.30, 6}},
+        {"streamcluster.medium", {512ull << 20, 0.30, 4ull << 20, 0.80, 0.25, 10}},
+    };
+    return table;
+}
+
+class SmallFootprintWorkload : public RegionWorkload
+{
+  public:
+    SmallFootprintWorkload(const std::string &name,
+                           const SmallParams &params, std::uint64_t seed)
+        : RegionWorkload(name,
+                         0x180000000000ull
+                             + (std::hash<std::string>{}(name) & 0xffull)
+                                   * (1ull << 38),
+                         params.footprint, seed),
+          params_(params)
+    {
+    }
+
+    unsigned mlpHint() const override { return params_.mlp; }
+
+    MemRef
+    next() override
+    {
+        MemRef ref;
+        ref.stream = 1;
+        if (burstRemaining_ > 0) {
+            --burstRemaining_;
+            cursor_ += kLineBytes;
+            if (cursor_ >= footprint_)
+                cursor_ = 0;
+            ref.vaddr = vaBase_ + cursor_;
+            ref.isWrite = rng_.chance(params_.writeShare);
+            return ref;
+        }
+        if (rng_.chance(params_.streamShare)) {
+            burstRemaining_ = 8 + rng_.below(56);
+            cursor_ = alignDown(rng_.below(footprint_), kLineBytes);
+            ref.vaddr = vaBase_ + cursor_;
+            return ref;
+        }
+        if (rng_.chance(params_.hotFraction)) {
+            ref.vaddr = vaBase_ + rng_.below(params_.hotBytes);
+        } else {
+            ref.vaddr = randomInRegion();
+        }
+        ref.isWrite = rng_.chance(params_.writeShare);
+        return ref;
+    }
+
+  private:
+    SmallParams params_;
+    Addr cursor_ = 0;
+    unsigned burstRemaining_ = 0;
+};
+
+} // namespace
+
+bool
+isSmallFootprintName(const std::string &name)
+{
+    return paramTable().count(name) > 0;
+}
+
+std::unique_ptr<Workload>
+makeSmallFootprint(const std::string &name, std::uint64_t seed)
+{
+    const auto it = paramTable().find(name);
+    TEMPO_ASSERT(it != paramTable().end(), "unknown small workload '",
+                 name, "'");
+    return std::make_unique<SmallFootprintWorkload>(name, it->second,
+                                                    seed);
+}
+
+} // namespace tempo

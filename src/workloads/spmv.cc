@@ -1,0 +1,85 @@
+/**
+ * @file
+ * spmv: sparse matrix-vector multiply (CSR). Memory signature: the
+ * classic A[B[i]] indirection — sequential sweeps over the col_idx and
+ * values arrays, plus an indirect gather x[col_idx[i]] scattered over
+ * the dense vector. The indirect stream is what IMP (paper Sec. 4.2)
+ * feeds on.
+ */
+
+#include "workloads/generators.hh"
+
+namespace tempo {
+namespace {
+
+class SpmvWorkload : public RegionWorkload
+{
+  public:
+    explicit SpmvWorkload(std::uint64_t seed)
+        : RegionWorkload("spmv", 0x130000000000ull, 24ull << 30, seed),
+          gather_([this] {
+              // x[col]: columns of a sparse matrix scatter uniformly
+              // over the dense vector region.
+              return vaBase_ + vectorOff_
+                  + rng_.below(footprint_ - vectorOff_);
+          })
+    {
+    }
+
+    unsigned mlpHint() const override { return 6; }
+
+    MemRef
+    next() override
+    {
+        MemRef ref;
+        switch (phase_) {
+          case 0: { // col_idx[i]: sequential int array
+            ref.vaddr = vaBase_ + idxCursor_;
+            idxCursor_ = (idxCursor_ + 4) % matrixOff_;
+            ref.stream = 1;
+            phase_ = 1;
+            break;
+          }
+          case 1: { // values[i]: sequential double array
+            ref.vaddr = vaBase_ + matrixOff_ + valCursor_;
+            valCursor_ = (valCursor_ + 8) % (vectorOff_ - matrixOff_);
+            ref.stream = 2;
+            phase_ = 2;
+            break;
+          }
+          default: { // x[col_idx[i]]: the indirect gather
+            const auto [current, future] = gather_.next();
+            ref.vaddr = current;
+            ref.stream = 3;
+            ref.indirect = true;
+            ref.indirectFuture = future;
+            // Occasionally the row ends: y[row] store.
+            if (rng_.chance(0.2))
+                ref.isWrite = false;
+            phase_ = 0;
+            break;
+          }
+        }
+        return ref;
+    }
+
+  private:
+    /** Layout: [0, matrixOff): col_idx; [matrixOff, vectorOff): values;
+     * [vectorOff, footprint): the dense x vector. */
+    const Addr matrixOff_ = 6ull << 30;
+    const Addr vectorOff_ = 12ull << 30;
+    int phase_ = 0;
+    Addr idxCursor_ = 0;
+    Addr valCursor_ = 0;
+    IndirectStream gather_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSpmv(std::uint64_t seed)
+{
+    return std::make_unique<SpmvWorkload>(seed);
+}
+
+} // namespace tempo

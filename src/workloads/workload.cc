@@ -1,0 +1,68 @@
+#include "workloads/workload.hh"
+
+#include "common/log.hh"
+#include "workloads/generators.hh"
+
+namespace tempo {
+
+RegionWorkload::RegionWorkload(std::string name, Addr va_base,
+                               Addr footprint, std::uint64_t seed)
+    : name_(std::move(name)), vaBase_(va_base), footprint_(footprint),
+      rng_(seed)
+{
+    TEMPO_ASSERT(footprint > 0, "empty footprint");
+}
+
+Addr
+RegionWorkload::randomInRegion()
+{
+    return vaBase_ + rng_.below(footprint_);
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, std::uint64_t seed)
+{
+    if (name == "mcf")
+        return makeMcf(seed);
+    if (name == "canneal")
+        return makeCanneal(seed);
+    if (name == "lsh")
+        return makeLsh(seed);
+    if (name == "spmv")
+        return makeSpmv(seed);
+    if (name == "sgms")
+        return makeSgms(seed);
+    if (name == "graph500")
+        return makeGraph500(seed);
+    if (name == "xsbench")
+        return makeXsbench(seed);
+    if (name == "illustris")
+        return makeIllustris(seed);
+    if (isSmallFootprintName(name))
+        return makeSmallFootprint(name, seed);
+    TEMPO_FATAL("unknown workload '", name, "'");
+}
+
+const std::vector<std::string> &
+bigDataWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "mcf", "canneal", "lsh", "spmv",
+        "sgms", "graph500", "xsbench", "illustris"};
+    return names;
+}
+
+const std::vector<std::string> &
+smallWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "astar.small",    "bzip2.small",        "gcc.small",
+        "gobmk.small",    "hmmer.small",        "x264.small",
+        "swaptions.small", "ferret.small",      "perlbench.small",
+        "sjeng.small",    "namd.small",         "povray.small",
+        "blackscholes.small", "bodytrack.small", "freqmine.small",
+        "fluidanimate.small"};
+    return names;
+}
+
+} // namespace tempo

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * xsbench: Monte Carlo neutron-transport macroscopic cross-section
+ * lookups. Memory signature: the worst locality of the suite — each
+ * lookup binary-searches the multi-GB unionized energy grid (only the
+ * top tree levels are hot), then gathers one cross-section entry per
+ * nuclide at uniformly random locations in a huge table. The paper
+ * singles xsbench out as the workload with the most frequent DRAM
+ * page-table accesses (Sec. 6.1).
+ */
+
+#include "workloads/generators.hh"
+
+namespace tempo {
+namespace {
+
+class XsbenchWorkload : public RegionWorkload
+{
+  public:
+    explicit XsbenchWorkload(std::uint64_t seed)
+        : RegionWorkload("xsbench", 0x160000000000ull, 48ull << 30,
+                         seed),
+          gather_([this] {
+              return vaBase_ + gridBytes_
+                  + rng_.below(footprint_ - gridBytes_);
+          })
+    {
+    }
+
+    unsigned mlpHint() const override { return 4; }
+
+    MemRef
+    next() override
+    {
+        MemRef ref;
+        if (gridProbes_ > 0) {
+            // Binary search of the unionized energy grid: the top tree
+            // levels are hot and cache-resident, the lower probes land
+            // anywhere in the multi-GB grid.
+            --gridProbes_;
+            if (rng_.chance(0.5)) {
+                ref.vaddr = vaBase_ + rng_.below(kHotGridBytes);
+            } else {
+                ref.vaddr = vaBase_ + rng_.below(gridBytes_);
+            }
+            ref.stream = 1;
+            return ref;
+        }
+        if (nuclideGathers_ > 0) {
+            --nuclideGathers_;
+            const auto [current, future] = gather_.next();
+            ref.vaddr = current;
+            ref.stream = 2;
+            ref.indirect = true;
+            ref.indirectFuture = future;
+            return ref;
+        }
+        // New lookup: a couple of grid probes, then many gathers.
+        gridProbes_ = 2;
+        nuclideGathers_ = 4 + rng_.below(8);
+        ref.vaddr = vaBase_ + rng_.below(kHotGridBytes);
+        ref.stream = 1;
+        return ref;
+    }
+
+  private:
+    /** Top of the grid search tree: hot and cache-resident. */
+    static constexpr Addr kHotGridBytes = 64ull << 10;
+    /** Full unionized energy grid. */
+    const Addr gridBytes_ = 2ull << 30;
+    unsigned gridProbes_ = 0;
+    unsigned nuclideGathers_ = 0;
+    IndirectStream gather_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeXsbench(std::uint64_t seed)
+{
+    return std::make_unique<XsbenchWorkload>(seed);
+}
+
+} // namespace tempo

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "vm/address_space.hh"
+
+namespace tempo {
+namespace {
+
+AddressSpaceConfig
+withPolicy(PagePolicy policy)
+{
+    AddressSpaceConfig cfg;
+    cfg.policy = policy;
+    return cfg;
+}
+
+TEST(AddressSpace, FirstTouchFaultsSecondDoesNot)
+{
+    OsMemory os{OsMemoryConfig{}};
+    AddressSpace as(os, withPolicy(PagePolicy::Base4K));
+    EXPECT_TRUE(as.touch(0x1234567));
+    EXPECT_FALSE(as.touch(0x1234568));
+    EXPECT_EQ(as.faults(), 1u);
+}
+
+TEST(AddressSpace, TranslateAfterTouch)
+{
+    OsMemory os{OsMemoryConfig{}};
+    AddressSpace as(os, withPolicy(PagePolicy::Base4K));
+    as.touch(0x1234567);
+    const Translation xlate = as.translate(0x1234567);
+    ASSERT_TRUE(xlate.valid);
+    EXPECT_EQ(xlate.size, PageSize::Page4K);
+    EXPECT_EQ(xlate.physAddr(0x1234567) % kPageBytes, 0x567u);
+}
+
+TEST(AddressSpace, TranslateUntouchedIsInvalid)
+{
+    OsMemory os{OsMemoryConfig{}};
+    AddressSpace as(os, withPolicy(PagePolicy::Base4K));
+    EXPECT_FALSE(as.translate(0xdead000).valid);
+}
+
+TEST(AddressSpace, Base4KNeverCreatesSuperpages)
+{
+    OsMemory os{OsMemoryConfig{}};
+    AddressSpace as(os, withPolicy(PagePolicy::Base4K));
+    for (Addr i = 0; i < 4096; ++i)
+        as.touch(i * kPageBytes);
+    EXPECT_EQ(as.superpageCoverage(), 0.0);
+}
+
+TEST(AddressSpace, ThpCoverageNearEligibleFraction)
+{
+    OsMemory os{OsMemoryConfig{}};
+    AddressSpaceConfig cfg = withPolicy(PagePolicy::Thp);
+    AddressSpace as(os, cfg);
+    // Touch every page of a 512MB region: coverage approaches the
+    // THP-eligible fraction (paper Fig. 10 right: >50%).
+    for (Addr i = 0; i < (512ull << 20) / kPageBytes; i += 7)
+        as.touch(0x40000000ull + i * kPageBytes);
+    EXPECT_NEAR(as.coverage2M(), cfg.thpEligibleFrac, 0.08);
+    EXPECT_EQ(as.coverage1G(), 0.0);
+}
+
+TEST(AddressSpace, GranulesOfSuperpageShareFrame)
+{
+    OsMemory os{OsMemoryConfig{}};
+    AddressSpaceConfig cfg = withPolicy(PagePolicy::Hugetlbfs2M);
+    cfg.hugetlbfs2MFrac = 1.0;
+    AddressSpace as(os, cfg);
+    as.touch(0x40000000ull);
+    as.touch(0x40000000ull + 5 * kPageBytes);
+    const Translation a = as.translate(0x40000000ull);
+    const Translation b = as.translate(0x40000000ull + 5 * kPageBytes);
+    ASSERT_TRUE(a.valid && b.valid);
+    EXPECT_EQ(a.pframe, b.pframe);
+    EXPECT_EQ(a.size, PageSize::Page2M);
+    // Only ONE fault: the superpage mapped the whole region.
+    EXPECT_EQ(as.faults(), 1u);
+}
+
+TEST(AddressSpace, FragmentationReducesThpCoverage)
+{
+    auto coverage_at = [](double frag) {
+        OsMemoryConfig os_cfg;
+        os_cfg.fragLevel = frag;
+        OsMemory os(os_cfg);
+        AddressSpace as(os, withPolicy(PagePolicy::Thp));
+        for (Addr i = 0; i < 40000; i += 3)
+            as.touch(0x40000000ull + i * kPageBytes);
+        return as.superpageCoverage();
+    };
+    const double c0 = coverage_at(0.0);
+    const double c50 = coverage_at(0.5);
+    const double c75 = coverage_at(0.75);
+    EXPECT_GT(c0, c50);
+    EXPECT_GT(c50, c75);
+}
+
+TEST(AddressSpace, Hugetlbfs2MBeatsThpCoverage)
+{
+    OsMemory os1{OsMemoryConfig{}}, os2{OsMemoryConfig{}};
+    AddressSpace thp(os1, withPolicy(PagePolicy::Thp));
+    AddressSpace huge(os2, withPolicy(PagePolicy::Hugetlbfs2M));
+    for (Addr i = 0; i < 40000; i += 3) {
+        thp.touch(0x40000000ull + i * kPageBytes);
+        huge.touch(0x40000000ull + i * kPageBytes);
+    }
+    EXPECT_GT(huge.superpageCoverage(), thp.superpageCoverage());
+}
+
+TEST(AddressSpace, OneGigPolicyProducesGigPages)
+{
+    OsMemory os{OsMemoryConfig{}};
+    AddressSpaceConfig cfg = withPolicy(PagePolicy::Hugetlbfs1G);
+    cfg.hugetlbfs1GFrac = 1.0;
+    AddressSpace as(os, cfg);
+    as.touch(0x80000000ull);
+    const Translation xlate = as.translate(0x80000000ull);
+    ASSERT_TRUE(xlate.valid);
+    EXPECT_EQ(xlate.size, PageSize::Page1G);
+    EXPECT_DOUBLE_EQ(as.coverage1G(), 1.0);
+}
+
+TEST(AddressSpace, EligibilityIsDeterministicPerRegion)
+{
+    OsMemory os1{OsMemoryConfig{}}, os2{OsMemoryConfig{}};
+    AddressSpaceConfig cfg = withPolicy(PagePolicy::Thp);
+    AddressSpace a(os1, cfg), b(os2, cfg);
+    for (Addr i = 0; i < 5000; ++i) {
+        const Addr vaddr = 0x10000000ull + i * kPageBytes * 513;
+        a.touch(vaddr);
+        b.touch(vaddr);
+        EXPECT_EQ(a.translate(vaddr).size, b.translate(vaddr).size);
+    }
+}
+
+TEST(AddressSpace, TouchedBytesCountsDistinctGranules)
+{
+    OsMemory os{OsMemoryConfig{}};
+    AddressSpace as(os, withPolicy(PagePolicy::Base4K));
+    as.touch(0x1000);
+    as.touch(0x1fff); // same granule
+    as.touch(0x2000);
+    EXPECT_EQ(as.touchedBytes(), 2 * kPageBytes);
+}
+
+TEST(AddressSpace, ReportIsComplete)
+{
+    OsMemory os{OsMemoryConfig{}};
+    AddressSpace as(os, withPolicy(PagePolicy::Thp));
+    as.touch(0x40000000ull);
+    stats::Report report;
+    as.report(report);
+    EXPECT_TRUE(report.has("superpage_coverage"));
+    EXPECT_TRUE(report.has("faults"));
+    EXPECT_TRUE(report.has("pt_nodes"));
+}
+
+class PolicySweep : public ::testing::TestWithParam<PagePolicy>
+{
+};
+
+TEST_P(PolicySweep, TouchAlwaysYieldsValidTranslation)
+{
+    OsMemory os{OsMemoryConfig{}};
+    AddressSpace as(os, withPolicy(GetParam()));
+    for (Addr i = 0; i < 3000; ++i) {
+        const Addr vaddr = 0x40000000ull + i * 0x5011;
+        as.touch(vaddr);
+        const Translation xlate = as.translate(vaddr);
+        ASSERT_TRUE(xlate.valid);
+        // Physical offset within the page matches the virtual offset.
+        EXPECT_EQ(xlate.physAddr(vaddr) % kPageBytes,
+                  vaddr % kPageBytes);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicySweep,
+                         ::testing::Values(PagePolicy::Base4K,
+                                           PagePolicy::Thp,
+                                           PagePolicy::Hugetlbfs2M,
+                                           PagePolicy::Hugetlbfs1G));
+
+} // namespace
+} // namespace tempo

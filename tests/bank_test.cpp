@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dram/bank.hh"
+
+namespace tempo {
+namespace {
+
+struct BankFixture : public ::testing::Test {
+    DramConfig cfg;
+    std::unique_ptr<RowPolicy> policy;
+    std::unique_ptr<Bank> bank;
+    EnergyCounters energy;
+
+    void
+    build(RowPolicyKind kind = RowPolicyKind::Open,
+          SubRowAlloc alloc = SubRowAlloc::None, unsigned dedicated = 0)
+    {
+        cfg.rowPolicy = kind;
+        cfg.subRowAlloc = alloc;
+        cfg.subRowsForPrefetch = dedicated;
+        policy = std::make_unique<RowPolicy>(cfg);
+        bank = std::make_unique<Bank>(cfg, 0, policy.get());
+    }
+
+    BankAccess
+    access(Addr row, Cycle when = 0, unsigned segment = 0,
+           bool prefetch = false, AppId app = 0, Cycle hold = 0)
+    {
+        return bank->access(row, segment, false, prefetch, app, when,
+                            hold, energy);
+    }
+};
+
+TEST_F(BankFixture, FirstAccessIsMiss)
+{
+    build();
+    const BankAccess result = access(5);
+    EXPECT_EQ(result.event, RowEvent::Miss);
+    EXPECT_EQ(result.complete - result.start, cfg.missLatency());
+    EXPECT_EQ(energy.activates, 1u);
+    EXPECT_EQ(energy.precharges, 0u);
+}
+
+TEST_F(BankFixture, SecondAccessSameRowHits)
+{
+    build();
+    access(5);
+    const BankAccess result = access(5, 200);
+    EXPECT_EQ(result.event, RowEvent::Hit);
+    EXPECT_EQ(result.complete - result.start, cfg.hitLatency());
+}
+
+TEST_F(BankFixture, DifferentRowConflicts)
+{
+    build();
+    access(5);
+    const BankAccess result = access(6, 500);
+    EXPECT_EQ(result.event, RowEvent::Conflict);
+    EXPECT_EQ(result.complete - result.start, cfg.conflictLatency());
+    EXPECT_EQ(energy.precharges, 1u);
+    EXPECT_EQ(energy.activates, 2u);
+}
+
+TEST_F(BankFixture, HitLatencyIsFasterThanConflict)
+{
+    build();
+    // Paper Sec. 2.3: row buffer hits cut access time by as much as 66%.
+    EXPECT_LT(cfg.hitLatency() * 2, cfg.conflictLatency());
+}
+
+TEST_F(BankFixture, ClosedPolicyAlwaysMisses)
+{
+    build(RowPolicyKind::Closed);
+    access(5);
+    const BankAccess result = access(5, 1000);
+    // Same row, but the closed policy precharged it: a miss, not a hit,
+    // and crucially not a conflict either.
+    EXPECT_EQ(result.event, RowEvent::Miss);
+}
+
+TEST_F(BankFixture, ClosedPolicyPrechargeOffCriticalPath)
+{
+    build(RowPolicyKind::Closed);
+    const BankAccess first = access(5);
+    // The bank is busy with the background precharge after the access.
+    EXPECT_GT(bank->readyAt(), first.complete);
+    // A much later access pays only the miss latency.
+    const BankAccess second = access(6, 10000);
+    EXPECT_EQ(second.event, RowEvent::Miss);
+    EXPECT_EQ(second.complete - second.start, cfg.missLatency());
+}
+
+TEST_F(BankFixture, BankBusyDelaysNextAccess)
+{
+    build();
+    const BankAccess first = access(5, 0);
+    const BankAccess second = access(5, 1); // arrives while busy
+    EXPECT_GE(second.start, first.complete);
+}
+
+TEST_F(BankFixture, TrasEnforcedBeforeConflictPrecharge)
+{
+    build();
+    const BankAccess first = access(5, 0);
+    // Immediately conflicting access: the open row cannot be precharged
+    // until tRAS after its activation.
+    const BankAccess second = access(6, first.complete);
+    EXPECT_GE(second.start, first.start + cfg.tRAS);
+}
+
+TEST_F(BankFixture, HoldKeepsRowOpenPastPolicy)
+{
+    build(RowPolicyKind::Closed);
+    // With a hold the closed policy must not precharge.
+    access(5, 0, 0, false, 0, /*hold=*/50);
+    const BankAccess result = access(5, 10);
+    EXPECT_EQ(result.event, RowEvent::Hit);
+}
+
+TEST_F(BankFixture, HoldDelaysConflictingEviction)
+{
+    build();
+    const BankAccess first = access(5, 0, 0, false, 0, /*hold=*/500);
+    const BankAccess conflicting = access(6, first.complete + 1);
+    // The conflicting access must wait for the hold to expire.
+    EXPECT_GE(conflicting.start, first.complete + 500);
+}
+
+TEST_F(BankFixture, WouldHitReflectsState)
+{
+    build();
+    EXPECT_FALSE(bank->wouldHit(5, 0));
+    access(5);
+    EXPECT_TRUE(bank->wouldHit(5, 0));
+    EXPECT_FALSE(bank->wouldHit(6, 0));
+}
+
+TEST_F(BankFixture, OpenRowVisible)
+{
+    build();
+    EXPECT_EQ(bank->openRow(0), kInvalidAddr);
+    access(17);
+    EXPECT_EQ(bank->openRow(0), 17u);
+}
+
+// --- Sub-row buffers ---
+
+TEST_F(BankFixture, SubRowsHoldMultipleSegments)
+{
+    build(RowPolicyKind::Open, SubRowAlloc::POA);
+    EXPECT_EQ(bank->numSlots(), cfg.subRowCount);
+    access(5, 0, /*segment=*/0);
+    access(5, 300, /*segment=*/1);
+    // Both segments of row 5 are now buffered.
+    EXPECT_TRUE(bank->wouldHit(5, 0));
+    EXPECT_TRUE(bank->wouldHit(5, 1));
+    EXPECT_EQ(access(5, 600, 0).event, RowEvent::Hit);
+    EXPECT_EQ(access(5, 900, 1).event, RowEvent::Hit);
+}
+
+TEST_F(BankFixture, SubRowSegmentMissIsNotAHit)
+{
+    build(RowPolicyKind::Open, SubRowAlloc::POA);
+    access(5, 0, 0);
+    // Same row, different segment: must activate that segment.
+    EXPECT_EQ(access(5, 300, 2).event, RowEvent::Miss);
+}
+
+TEST_F(BankFixture, DedicatedPrefetchSubRowsAreReserved)
+{
+    build(RowPolicyKind::Open, SubRowAlloc::POA, /*dedicated=*/2);
+    // Fill all demand slots (slots 2..7) with distinct rows.
+    for (unsigned i = 0; i < cfg.subRowCount - 2; ++i)
+        access(100 + i, i * 500, 0, false, 0);
+    // A prefetch goes into the reserved slots, evicting none of the
+    // demand rows.
+    access(999, 10000, 0, /*prefetch=*/true, 0);
+    for (unsigned i = 0; i < cfg.subRowCount - 2; ++i)
+        EXPECT_TRUE(bank->wouldHit(100 + i, 0)) << i;
+    EXPECT_TRUE(bank->wouldHit(999, 0));
+}
+
+TEST_F(BankFixture, DemandNeverEvictsDedicatedPrefetchRows)
+{
+    build(RowPolicyKind::Open, SubRowAlloc::POA, /*dedicated=*/2);
+    access(999, 0, 0, /*prefetch=*/true, 0);
+    // Flood with demand rows: the prefetched row must survive.
+    for (unsigned i = 0; i < 4 * cfg.subRowCount; ++i)
+        access(200 + i, 1000 + i * 500, 0, false, 0);
+    EXPECT_TRUE(bank->wouldHit(999, 0));
+}
+
+TEST_F(BankFixture, DemandCanStillHitPrefetchedSubRow)
+{
+    build(RowPolicyKind::Open, SubRowAlloc::POA, /*dedicated=*/2);
+    access(999, 0, 0, /*prefetch=*/true, 0);
+    // The replay (a demand access) hits the dedicated sub-row.
+    EXPECT_EQ(access(999, 500, 0, false, 0).event, RowEvent::Hit);
+}
+
+TEST_F(BankFixture, FoaPartitionsSlotsByApp)
+{
+    build(RowPolicyKind::Open, SubRowAlloc::FOA);
+    // App 0 and app 1 map to different preferred slots; filling app 0's
+    // slot should not evict app 1's row once slots run out.
+    access(10, 0, 0, false, /*app=*/0);
+    access(20, 500, 0, false, /*app=*/1);
+    EXPECT_TRUE(bank->wouldHit(10, 0));
+    EXPECT_TRUE(bank->wouldHit(20, 0));
+}
+
+TEST_F(BankFixture, EnergyCountsReadsAndWrites)
+{
+    build();
+    bank->access(5, 0, /*write=*/true, false, 0, 0, 0, energy);
+    bank->access(5, 0, /*write=*/false, false, 0, 500, 0, energy);
+    EXPECT_EQ(energy.colWrites, 1u);
+    EXPECT_EQ(energy.colReads, 1u);
+}
+
+} // namespace
+} // namespace tempo

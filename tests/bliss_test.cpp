@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "mc/bliss.hh"
+
+namespace tempo {
+namespace {
+
+struct BlissFixture : public ::testing::Test {
+    DramConfig dram_cfg;
+    std::unique_ptr<DramDevice> dram;
+    SchedulerConfig cfg;
+    std::uint64_t seq = 0;
+
+    void
+    SetUp() override
+    {
+        dram_cfg.rowPolicy = RowPolicyKind::Open;
+        dram = std::make_unique<DramDevice>(dram_cfg);
+        cfg.blissThreshold = 8;
+        cfg.blissNormalWeight = 2;
+        cfg.blissPrefetchWeight = 1;
+        cfg.blissClearInterval = 10000;
+    }
+
+    QueuedRequest
+    make(Addr paddr, AppId app, ReqKind kind = ReqKind::Regular,
+         bool tagged = false)
+    {
+        QueuedRequest entry;
+        entry.req.paddr = paddr;
+        entry.req.app = app;
+        entry.req.kind = kind;
+        entry.req.tempo.tagged = tagged;
+        entry.arrival = 0;
+        entry.seq = seq++;
+        return entry;
+    }
+};
+
+TEST_F(BlissFixture, BlacklistsAfterConsecutiveRequests)
+{
+    BlissScheduler sched(cfg);
+    // threshold 8 / weight 2 = 4 consecutive demand requests.
+    for (int i = 0; i < 3; ++i) {
+        sched.served(make(0x1000, 1), 1);
+        EXPECT_FALSE(sched.isBlacklisted(1));
+    }
+    sched.served(make(0x1000, 1), 1);
+    EXPECT_TRUE(sched.isBlacklisted(1));
+    EXPECT_EQ(sched.blacklistEvents(), 1u);
+}
+
+TEST_F(BlissFixture, SwitchingAppsResetsCounter)
+{
+    BlissScheduler sched(cfg);
+    sched.served(make(0x1000, 1), 1);
+    sched.served(make(0x1000, 1), 2);
+    sched.served(make(0x2000, 2), 3); // different app: reset
+    sched.served(make(0x1000, 1), 4);
+    sched.served(make(0x1000, 1), 5);
+    sched.served(make(0x1000, 1), 6);
+    EXPECT_FALSE(sched.isBlacklisted(1));
+}
+
+TEST_F(BlissFixture, PrefetchesCountHalf)
+{
+    BlissScheduler sched(cfg);
+    // 8 prefetches at weight 1 reach the threshold of 8; 7 do not.
+    for (int i = 0; i < 7; ++i) {
+        sched.served(make(0x1000, 3, ReqKind::TempoPrefetch), 1);
+        ASSERT_FALSE(sched.isBlacklisted(3)) << i;
+    }
+    sched.served(make(0x1000, 3, ReqKind::TempoPrefetch), 1);
+    EXPECT_TRUE(sched.isBlacklisted(3));
+}
+
+TEST_F(BlissFixture, ClearIntervalUnblacklists)
+{
+    BlissScheduler sched(cfg);
+    for (int i = 0; i < 4; ++i)
+        sched.served(make(0x1000, 1), 1);
+    ASSERT_TRUE(sched.isBlacklisted(1));
+    // Serving anything after the clearing interval resets the list.
+    sched.served(make(0x9000, 2), 1 + cfg.blissClearInterval);
+    EXPECT_FALSE(sched.isBlacklisted(1));
+}
+
+TEST_F(BlissFixture, NonBlacklistedAppWinsPick)
+{
+    BlissScheduler sched(cfg);
+    for (int i = 0; i < 4; ++i)
+        sched.served(make(0x1000, 1), 1);
+    ASSERT_TRUE(sched.isBlacklisted(1));
+
+    std::vector<QueuedRequest> queue;
+    queue.push_back(make(0x2000, 1)); // older but blacklisted
+    queue.push_back(make(0x3000, 2));
+    EXPECT_EQ(sched.pick(queue, *dram, 10), 1u);
+}
+
+TEST_F(BlissFixture, TempoAffinityServesPrefetchBeforeSwitching)
+{
+    cfg.blissTempoAffinity = true;
+    BlissScheduler sched(cfg);
+    // App 1 just got a tagged PT access served.
+    sched.served(make(0x1000, 1, ReqKind::PtWalk, /*tagged=*/true), 5);
+
+    std::vector<QueuedRequest> queue;
+    queue.push_back(make(0x5000, 2)); // other app, older
+    queue.push_back(make(0x7000, 1, ReqKind::TempoPrefetch));
+    // The paper's rule: the prefetch of the just-served PT access goes
+    // before another application's stream.
+    EXPECT_EQ(sched.pick(queue, *dram, 6), 1u);
+}
+
+TEST_F(BlissFixture, NoAffinityWithoutTaggedPt)
+{
+    cfg.blissTempoAffinity = true;
+    BlissScheduler sched(cfg);
+    sched.served(make(0x1000, 1, ReqKind::Regular), 5);
+
+    std::vector<QueuedRequest> queue;
+    queue.push_back(make(0x5000, 2));
+    queue.push_back(make(0x7000, 1, ReqKind::TempoPrefetch));
+    // Without a preceding PT access there is no affinity override; the
+    // older request wins its class... but note prefetch class ordering
+    // applies only with tempoGrouping. Here both are class "no row hit",
+    // so age decides.
+    EXPECT_EQ(sched.pick(queue, *dram, 6), 0u);
+}
+
+TEST_F(BlissFixture, WeightSweepChangesBlacklistRate)
+{
+    // Property: higher prefetch weight -> apps blacklist sooner when
+    // issuing prefetch-heavy streams.
+    for (unsigned weight : {0u, 1u, 2u}) {
+        SchedulerConfig c = cfg;
+        c.blissPrefetchWeight = weight;
+        BlissScheduler sched(c);
+        int until_blacklist = 0;
+        for (int i = 0; i < 100 && !sched.isBlacklisted(7); ++i) {
+            sched.served(make(0x1000, 7, ReqKind::TempoPrefetch), 1);
+            ++until_blacklist;
+        }
+        if (weight == 0) {
+            EXPECT_FALSE(sched.isBlacklisted(7));
+        } else {
+            EXPECT_EQ(until_blacklist,
+                      static_cast<int>(cfg.blissThreshold / weight));
+        }
+    }
+}
+
+} // namespace
+} // namespace tempo

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "cache/set_assoc.hh"
+
+namespace tempo {
+namespace {
+
+TEST(SetAssocCache, MissThenHit)
+{
+    SetAssocCache cache(4096, 4);
+    EXPECT_FALSE(cache.lookup(0x1000));
+    cache.insert(0x1000);
+    EXPECT_TRUE(cache.lookup(0x1000));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(SetAssocCache, LineGranularity)
+{
+    SetAssocCache cache(4096, 4);
+    cache.insert(0x1000);
+    // Same line, different byte offsets.
+    EXPECT_TRUE(cache.lookup(0x1001));
+    EXPECT_TRUE(cache.lookup(0x103f));
+    EXPECT_FALSE(cache.lookup(0x1040));
+}
+
+TEST(SetAssocCache, LruEviction)
+{
+    // 2 sets x 2 ways. Lines mapping to set 0: multiples of 2 lines.
+    SetAssocCache cache(256, 2);
+    ASSERT_EQ(cache.numSets(), 2u);
+    const Addr a = 0 * 128, b = 2 * 128, c = 4 * 128; // all set 0
+    cache.insert(a);
+    cache.insert(b);
+    cache.lookup(a);          // a becomes MRU
+    const Addr evicted = cache.insert(c);
+    EXPECT_EQ(evicted, b);    // b was LRU
+    EXPECT_TRUE(cache.contains(a));
+    EXPECT_FALSE(cache.contains(b));
+    EXPECT_TRUE(cache.contains(c));
+}
+
+TEST(SetAssocCache, InsertExistingRefreshesWithoutEviction)
+{
+    SetAssocCache cache(256, 2);
+    cache.insert(0);
+    EXPECT_EQ(cache.insert(0), kInvalidAddr);
+}
+
+TEST(SetAssocCache, InvalidateRemovesLine)
+{
+    SetAssocCache cache(4096, 4);
+    cache.insert(0x2000);
+    ASSERT_TRUE(cache.contains(0x2000));
+    cache.invalidate(0x2000);
+    EXPECT_FALSE(cache.contains(0x2000));
+    cache.invalidate(0x2000); // idempotent
+}
+
+TEST(SetAssocCache, ResetClearsEverything)
+{
+    SetAssocCache cache(4096, 4);
+    cache.insert(0x3000);
+    cache.lookup(0x3000);
+    cache.reset();
+    EXPECT_FALSE(cache.contains(0x3000));
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(SetAssocCache, EvictedAddressRoundTrips)
+{
+    // Property: the reported evicted address maps to the same set as
+    // the inserted address and was previously present.
+    SetAssocCache cache(8192, 2);
+    const unsigned sets = cache.numSets();
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 2000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const Addr addr = (x % (1ull << 24)) & ~(kLineBytes - 1);
+        const Addr evicted = cache.insert(addr);
+        if (evicted != kInvalidAddr) {
+            EXPECT_EQ((evicted / kLineBytes) & (sets - 1),
+                      (addr / kLineBytes) & (sets - 1));
+        }
+    }
+}
+
+TEST(SetAssocCacheDeathTest, RejectsNonsenseGeometry)
+{
+    EXPECT_DEATH(SetAssocCache(64, 4), "");
+}
+
+struct HierarchyFixture : public ::testing::Test {
+    CacheHierarchyConfig cfg;
+    std::unique_ptr<SharedLlc> llc;
+    std::unique_ptr<CacheHierarchy> hierarchy;
+
+    void
+    SetUp() override
+    {
+        llc = std::make_unique<SharedLlc>(cfg.llc);
+        hierarchy = std::make_unique<CacheHierarchy>(cfg, llc.get());
+    }
+};
+
+TEST_F(HierarchyFixture, ColdAccessMissesEverywhere)
+{
+    const CacheOutcome outcome = hierarchy->access(0x10000);
+    EXPECT_EQ(outcome.level, CacheLevel::Memory);
+    EXPECT_EQ(outcome.latency,
+              cfg.l1.latency + cfg.l2.latency + cfg.llc.latency);
+}
+
+TEST_F(HierarchyFixture, FillMakesL1Hit)
+{
+    hierarchy->fill(0x10000);
+    const CacheOutcome outcome = hierarchy->access(0x10000);
+    EXPECT_EQ(outcome.level, CacheLevel::L1);
+    EXPECT_EQ(outcome.latency, cfg.l1.latency);
+}
+
+TEST_F(HierarchyFixture, L2HitPromotesToL1)
+{
+    hierarchy->fill(0x10000);
+    hierarchy->l1().invalidate(lineAddr(Addr{0x10000}));
+    const CacheOutcome first = hierarchy->access(0x10000);
+    EXPECT_EQ(first.level, CacheLevel::L2);
+    EXPECT_EQ(first.latency, cfg.l1.latency + cfg.l2.latency);
+    const CacheOutcome second = hierarchy->access(0x10000);
+    EXPECT_EQ(second.level, CacheLevel::L1);
+}
+
+TEST_F(HierarchyFixture, LlcHitPromotesToPrivates)
+{
+    llc->cache().insert(lineAddr(Addr{0x20000}));
+    const CacheOutcome first = hierarchy->access(0x20000);
+    EXPECT_EQ(first.level, CacheLevel::LLC);
+    const CacheOutcome second = hierarchy->access(0x20000);
+    EXPECT_EQ(second.level, CacheLevel::L1);
+}
+
+TEST_F(HierarchyFixture, PrefetchFillLandsOnlyInLlc)
+{
+    // TEMPO's LLC prefetch port must not pollute the private levels.
+    llc->prefetchFill(0x30000);
+    EXPECT_EQ(llc->prefetchFills(), 1u);
+    EXPECT_FALSE(hierarchy->l1().contains(lineAddr(Addr{0x30000})));
+    EXPECT_FALSE(hierarchy->l2().contains(lineAddr(Addr{0x30000})));
+    const CacheOutcome outcome = hierarchy->access(0x30000);
+    EXPECT_EQ(outcome.level, CacheLevel::LLC);
+}
+
+TEST_F(HierarchyFixture, FillPrivateSkipsLlc)
+{
+    hierarchy->fillPrivate(0x40000);
+    EXPECT_TRUE(hierarchy->l1().contains(lineAddr(Addr{0x40000})));
+    EXPECT_FALSE(llc->cache().contains(lineAddr(Addr{0x40000})));
+}
+
+TEST_F(HierarchyFixture, TwoCoresShareTheLlc)
+{
+    CacheHierarchy other(cfg, llc.get());
+    hierarchy->fill(0x50000);
+    // The other core misses its privates but hits the shared LLC.
+    const CacheOutcome outcome = other.access(0x50000);
+    EXPECT_EQ(outcome.level, CacheLevel::LLC);
+}
+
+TEST_F(HierarchyFixture, ReportContainsAllLevels)
+{
+    hierarchy->access(0x1234);
+    stats::Report report;
+    hierarchy->report(report);
+    EXPECT_TRUE(report.has("l1.hit_rate"));
+    EXPECT_TRUE(report.has("l2.misses"));
+    EXPECT_TRUE(report.has("llc.hits"));
+    EXPECT_TRUE(report.has("llc.prefetch_fills"));
+}
+
+} // namespace
+} // namespace tempo

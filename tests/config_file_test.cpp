@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cli/config_file.hh"
+
+namespace tempo::cli {
+namespace {
+
+SystemConfig
+apply(const std::string &text)
+{
+    SystemConfig cfg = SystemConfig::skylakeScaled();
+    applyConfigText(text, cfg);
+    return cfg;
+}
+
+TEST(ConfigFile, EmptyTextIsNoop)
+{
+    const SystemConfig cfg = apply("");
+    EXPECT_EQ(cfg.caches.llc.sizeBytes,
+              SystemConfig::skylakeScaled().caches.llc.sizeBytes);
+}
+
+TEST(ConfigFile, CommentsAndBlanksIgnored)
+{
+    apply("# a comment\n\n; another\n[dram]\nchannels = 4 # inline\n");
+}
+
+TEST(ConfigFile, SetsCacheGeometry)
+{
+    const SystemConfig cfg = apply(
+        "[caches]\nllc_bytes = 2097152\nllc_assoc = 8\nl1_latency = 5\n");
+    EXPECT_EQ(cfg.caches.llc.sizeBytes, 2097152u);
+    EXPECT_EQ(cfg.caches.llc.assoc, 8u);
+    EXPECT_EQ(cfg.caches.l1.latency, 5u);
+}
+
+TEST(ConfigFile, SetsDramAndEnums)
+{
+    const SystemConfig cfg = apply(
+        "[dram]\nchannels = 4\nrow_policy = closed\nrefresh = false\n"
+        "subrow_alloc = foa\nsubrows_for_prefetch = 2\n");
+    EXPECT_EQ(cfg.dram.channels, 4u);
+    EXPECT_EQ(cfg.dram.rowPolicy, RowPolicyKind::Closed);
+    EXPECT_FALSE(cfg.dram.refreshEnabled);
+    EXPECT_EQ(cfg.dram.subRowAlloc, SubRowAlloc::FOA);
+    EXPECT_EQ(cfg.dram.subRowsForPrefetch, 2u);
+}
+
+TEST(ConfigFile, SetsTempoKnobs)
+{
+    const SystemConfig cfg = apply(
+        "[mc]\ntempo = true\npt_row_hold = 7\ngrace_period = 21\n"
+        "llc_fill = false\nsched = bliss\n");
+    EXPECT_TRUE(cfg.mc.tempoEnabled);
+    EXPECT_EQ(cfg.mc.tempoPtRowHold, 7u);
+    EXPECT_EQ(cfg.mc.tempoGracePeriod, 21u);
+    EXPECT_FALSE(cfg.mc.tempoLlcFill);
+    EXPECT_EQ(cfg.mc.sched, SchedKind::Bliss);
+}
+
+TEST(ConfigFile, SetsVmAndImpAndCore)
+{
+    const SystemConfig cfg = apply(
+        "[vm]\npage_policy = hugetlbfs1g\nfrag = 0.25\n"
+        "[imp]\nenabled = true\ncoverage = 0.5\n"
+        "[core]\nmlp_window = 12\nissue_gap = 2\nseed = 777\n");
+    EXPECT_EQ(cfg.vm.policy, PagePolicy::Hugetlbfs1G);
+    EXPECT_DOUBLE_EQ(cfg.os.fragLevel, 0.25);
+    EXPECT_TRUE(cfg.imp.enabled);
+    EXPECT_DOUBLE_EQ(cfg.imp.coverage, 0.5);
+    EXPECT_EQ(cfg.mlpWindow, 12u);
+    EXPECT_FALSE(cfg.useWorkloadMlpHint);
+    EXPECT_EQ(cfg.issueGap, 2u);
+    EXPECT_EQ(cfg.seed, 777u);
+}
+
+TEST(ConfigFile, UnknownKeyIsAnError)
+{
+    EXPECT_THROW(apply("[dram]\nchanels = 4\n"),
+                 std::invalid_argument);
+}
+
+TEST(ConfigFile, UnknownSectionIsAnError)
+{
+    EXPECT_THROW(apply("[nonsense]\nx = 1\n"), std::invalid_argument);
+}
+
+TEST(ConfigFile, KeyBeforeSectionIsAnError)
+{
+    EXPECT_THROW(apply("channels = 4\n"), std::invalid_argument);
+}
+
+TEST(ConfigFile, MalformedLinesAreErrors)
+{
+    EXPECT_THROW(apply("[dram\n"), std::invalid_argument);
+    EXPECT_THROW(apply("[dram]\nchannels\n"), std::invalid_argument);
+    EXPECT_THROW(apply("[dram]\nchannels =\n"), std::invalid_argument);
+    EXPECT_THROW(apply("[dram]\nchannels = four\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(apply("[mc]\ntempo = maybe\n"),
+                 std::invalid_argument);
+}
+
+TEST(ConfigFile, ErrorsNameTheLine)
+{
+    try {
+        apply("[dram]\nchannels = 2\nbogus = 1\n");
+        FAIL() << "expected an exception";
+    } catch (const std::invalid_argument &error) {
+        EXPECT_NE(std::string(error.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(ConfigFile, MissingFileThrows)
+{
+    SystemConfig cfg = SystemConfig::skylakeScaled();
+    EXPECT_THROW(applyConfigFile("/no/such/file.ini", cfg),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace tempo::cli

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "core/energy.hh"
+
+namespace tempo {
+namespace {
+
+TEST(Energy, StaticScalesWithRuntime)
+{
+    EnergyConfig cfg;
+    DramDevice dram{DramConfig{}};
+    const EnergyBreakdown short_run =
+        computeEnergy(cfg, 1000, dram, 0, false);
+    const EnergyBreakdown long_run =
+        computeEnergy(cfg, 2000, dram, 0, false);
+    EXPECT_DOUBLE_EQ(long_run.coreStatic, 2 * short_run.coreStatic);
+    EXPECT_DOUBLE_EQ(long_run.dramStatic, 2 * short_run.dramStatic);
+}
+
+TEST(Energy, DynamicScalesWithTraffic)
+{
+    EnergyConfig cfg;
+    DramDevice dram{DramConfig{}};
+    const double before =
+        computeEnergy(cfg, 1000, dram, 10, false).total();
+    dram.access(0, false, false, 0, 0, 0);
+    const double after =
+        computeEnergy(cfg, 1000, dram, 10, false).total();
+    EXPECT_GT(after, before);
+}
+
+TEST(Energy, TempoChargesHardwareOverhead)
+{
+    EnergyConfig cfg;
+    DramDevice dram{DramConfig{}};
+    const EnergyBreakdown off =
+        computeEnergy(cfg, 10000, dram, 1000, false);
+    const EnergyBreakdown on =
+        computeEnergy(cfg, 10000, dram, 1000, true);
+    // +0.5% on core static (walker), +3% on MC dynamic.
+    EXPECT_NEAR(on.coreStatic / off.coreStatic, 1.005, 1e-9);
+    EXPECT_NEAR(on.mcDynamic / off.mcDynamic, 1.03, 1e-9);
+}
+
+TEST(Energy, OverheadIsSmallRelativeToRuntimeSavings)
+{
+    // The paper's argument: TEMPO's added hardware costs far less than
+    // the static energy a 10% runtime reduction saves.
+    EnergyConfig cfg;
+    DramDevice dram{DramConfig{}};
+    const double baseline =
+        computeEnergy(cfg, 100000, dram, 5000, false).total();
+    const double tempo_10pct_faster =
+        computeEnergy(cfg, 90000, dram, 5000, true).total();
+    EXPECT_LT(tempo_10pct_faster, baseline);
+}
+
+TEST(Energy, BreakdownSumsToTotal)
+{
+    EnergyConfig cfg;
+    DramDevice dram{DramConfig{}};
+    dram.access(0, false, false, 0, 0, 0);
+    const EnergyBreakdown e = computeEnergy(cfg, 5000, dram, 77, true);
+    EXPECT_DOUBLE_EQ(e.total(), e.coreStatic + e.dramStatic
+                                    + e.dramDynamic + e.mcDynamic);
+    stats::Report report;
+    e.report(report);
+    EXPECT_DOUBLE_EQ(report.get("total"), e.total());
+}
+
+} // namespace
+} // namespace tempo

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.hh"
+
+namespace tempo {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameCycleIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        eq.schedule(2, [&] {
+            ++fired;
+            eq.scheduleIn(3, [&] { ++fired; });
+        });
+    });
+    eq.runAll();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueue, CallbackMayScheduleSameCycle)
+{
+    EventQueue eq;
+    bool nested = false;
+    eq.schedule(7, [&] { eq.schedule(7, [&] { nested = true; }); });
+    eq.runAll();
+    EXPECT_TRUE(nested);
+    EXPECT_EQ(eq.now(), 7u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.runUntil(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 15u);
+    eq.runAll();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue eq;
+    eq.runUntil(100);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest)
+{
+    EventQueue eq;
+    eq.schedule(42, [] {});
+    eq.schedule(17, [] {});
+    EXPECT_EQ(eq.nextTime(), 17u);
+}
+
+TEST(EventQueue, ExecutedCountsEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(i, [] {});
+    eq.runAll();
+    EXPECT_EQ(eq.executed(), 5u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.runAll();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "past");
+}
+
+TEST(EventQueue, ManyInterleavedEventsStaySorted)
+{
+    EventQueue eq;
+    Cycle last = 0;
+    bool monotone = true;
+    // Pseudo-random times, inserted out of order.
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        const Cycle when = (i * 7919) % 5000;
+        eq.schedule(when, [&, when] {
+            if (when < last)
+                monotone = false;
+            last = when;
+        });
+    }
+    eq.runAll();
+    EXPECT_TRUE(monotone);
+}
+
+} // namespace
+} // namespace tempo

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "prefetch/imp.hh"
+
+namespace tempo {
+namespace {
+
+ImpConfig
+enabled()
+{
+    ImpConfig cfg;
+    cfg.enabled = true;
+    // Deterministic behaviour for the structural tests; the
+    // coverage/accuracy knobs get their own tests below.
+    cfg.coverage = 1.0;
+    cfg.accuracy = 1.0;
+    return cfg;
+}
+
+TEST(Imp, DisabledNeverPrefetches)
+{
+    ImpPrefetcher imp{ImpConfig{}};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(imp.observe(1, true, 0x1000), kInvalidAddr);
+    EXPECT_EQ(imp.issued(), 0u);
+}
+
+TEST(Imp, IgnoresNonIndirectRefs)
+{
+    ImpPrefetcher imp(enabled());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(imp.observe(1, false, 0x1000), kInvalidAddr);
+    EXPECT_EQ(imp.trainedStreams(), 0u);
+}
+
+TEST(Imp, TrainsThenPrefetches)
+{
+    ImpConfig cfg = enabled();
+    cfg.trainThreshold = 4;
+    ImpPrefetcher imp(cfg);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(imp.observe(1, true, 0x1000 + i), kInvalidAddr) << i;
+    EXPECT_EQ(imp.trainedStreams(), 1u);
+    EXPECT_EQ(imp.observe(1, true, 0x5000), 0x5000u);
+    EXPECT_EQ(imp.issued(), 1u);
+}
+
+TEST(Imp, StreamsTrainIndependently)
+{
+    ImpConfig cfg = enabled();
+    cfg.trainThreshold = 2;
+    ImpPrefetcher imp(cfg);
+    imp.observe(1, true, 0x1);
+    imp.observe(1, true, 0x2);
+    // Stream 1 trained; stream 2 still cold.
+    EXPECT_NE(imp.observe(1, true, 0x3), kInvalidAddr);
+    EXPECT_EQ(imp.observe(2, true, 0x4), kInvalidAddr);
+}
+
+TEST(Imp, TableCapacityEvictsLru)
+{
+    ImpConfig cfg = enabled();
+    cfg.prefetchTableEntries = 2;
+    cfg.trainThreshold = 1;
+    ImpPrefetcher imp(cfg);
+    imp.observe(1, true, 0x1); // trains stream 1
+    imp.observe(2, true, 0x2); // trains stream 2
+    imp.observe(3, true, 0x3); // evicts stream 1 (LRU)
+    // Stream 1 must retrain from scratch.
+    EXPECT_EQ(imp.observe(1, true, 0x5), kInvalidAddr);
+}
+
+TEST(Imp, UnknownFutureYieldsNoPrefetch)
+{
+    ImpConfig cfg = enabled();
+    cfg.trainThreshold = 1;
+    ImpPrefetcher imp(cfg);
+    imp.observe(1, true, 0x1);
+    EXPECT_EQ(imp.observe(1, true, kInvalidAddr), kInvalidAddr);
+}
+
+TEST(Imp, ReportCountsIssued)
+{
+    ImpConfig cfg = enabled();
+    cfg.trainThreshold = 1;
+    ImpPrefetcher imp(cfg);
+    imp.observe(1, true, 0x1);
+    imp.observe(1, true, 0x2);
+    imp.observe(1, true, 0x3);
+    stats::Report report;
+    imp.report(report);
+    EXPECT_EQ(report.get("issued"), 2.0);
+    EXPECT_EQ(report.get("trained_streams"), 1.0);
+}
+
+TEST(Imp, CoverageLimitsIssueRate)
+{
+    ImpConfig cfg = enabled();
+    cfg.trainThreshold = 1;
+    cfg.coverage = 0.5;
+    ImpPrefetcher imp(cfg);
+    imp.observe(1, true, 0x1000);
+    const int trials = 4000;
+    for (int i = 0; i < trials; ++i)
+        imp.observe(1, true, 0x1000 + i);
+    EXPECT_NEAR(static_cast<double>(imp.issued()) / trials, 0.5, 0.05);
+}
+
+TEST(Imp, AccuracyPerturbsTargets)
+{
+    ImpConfig cfg = enabled();
+    cfg.trainThreshold = 1;
+    cfg.accuracy = 0.0; // every prefetch is wrong
+    ImpPrefetcher imp(cfg);
+    imp.observe(1, true, 0x100000);
+    int wrong = 0, total = 0;
+    for (int i = 0; i < 200; ++i) {
+        const Addr target = imp.observe(1, true, 0x100000);
+        if (target == kInvalidAddr)
+            continue;
+        ++total;
+        if (target != 0x100000) {
+            ++wrong;
+            // Wrong targets land on a different page — the TLB-thrash
+            // property the TEMPO paper attributes to IMP.
+            EXPECT_NE(vpn4K(target), vpn4K(Addr{0x100000}));
+        }
+    }
+    EXPECT_GT(total, 0);
+    EXPECT_EQ(wrong, total);
+    EXPECT_EQ(imp.mispredicted(), static_cast<std::uint64_t>(wrong));
+}
+
+TEST(Imp, FullAccuracyNeverMispredicts)
+{
+    ImpConfig cfg = enabled();
+    cfg.trainThreshold = 1;
+    ImpPrefetcher imp(cfg);
+    imp.observe(1, true, 0x100000);
+    for (int i = 0; i < 200; ++i) {
+        const Addr target = imp.observe(1, true, Addr{0x100000} + i);
+        EXPECT_EQ(target, Addr{0x100000} + i);
+    }
+    EXPECT_EQ(imp.mispredicted(), 0u);
+}
+
+class ImpThresholdSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ImpThresholdSweep, ExactlyThresholdObservationsToTrain)
+{
+    ImpConfig cfg = enabled();
+    cfg.trainThreshold = GetParam();
+    ImpPrefetcher imp(cfg);
+    for (unsigned i = 0; i < GetParam(); ++i)
+        EXPECT_EQ(imp.observe(9, true, 0x100), kInvalidAddr);
+    EXPECT_NE(imp.observe(9, true, 0x100), kInvalidAddr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ImpThresholdSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+} // namespace
+} // namespace tempo

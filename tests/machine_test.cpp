@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+
+namespace tempo {
+namespace {
+
+TEST(Machine, ConstructsFromConfig)
+{
+    Machine machine(SystemConfig::skylakeScaled());
+    EXPECT_EQ(machine.mcRequests(), 0u);
+    EXPECT_EQ(machine.eq.now(), 0u);
+}
+
+TEST(Machine, SubmitWritebackIsServedAsWriteback)
+{
+    Machine machine(SystemConfig::skylakeScaled());
+    machine.submitWriteback(0x12345, 3);
+    machine.eq.runAll();
+    EXPECT_EQ(machine.mc.served(ReqKind::Writeback), 1u);
+    EXPECT_EQ(machine.mcRequests(), 1u);
+}
+
+TEST(Machine, TempoPrefetchFillLandsInSharedLlc)
+{
+    SystemConfig cfg = SystemConfig::skylakeScaled();
+    cfg.withTempo(true);
+    Machine machine(cfg);
+
+    MemRequest req;
+    req.paddr = 0x8000;
+    req.kind = ReqKind::PtWalk;
+    req.tempo.tagged = true;
+    req.tempo.pteValid = true;
+    req.tempo.replayPaddr = 0x777000;
+    machine.mc.submit(std::move(req));
+    machine.eq.runAll();
+
+    EXPECT_TRUE(machine.llc.cache().contains(lineAddr(Addr{0x777000})));
+    EXPECT_EQ(machine.llc.prefetchFills(), 1u);
+}
+
+TEST(Machine, PrefetchFillEvictionWritesBack)
+{
+    SystemConfig cfg = SystemConfig::skylakeScaled();
+    cfg.withTempo(true);
+    cfg.caches.llc = {4096, 1, 42}; // tiny direct-mapped LLC
+    Machine machine(cfg);
+
+    // Dirty a line in the LLC, then have a TEMPO prefetch evict it.
+    machine.llc.cache().insertTracked(0x0, /*dirty=*/true);
+    MemRequest req;
+    req.paddr = 0x8000;
+    req.kind = ReqKind::PtWalk;
+    req.tempo.tagged = true;
+    req.tempo.pteValid = true;
+    req.tempo.replayPaddr = 0x1000; // same LLC set as 0x0
+    machine.mc.submit(std::move(req));
+    machine.eq.runAll();
+
+    EXPECT_EQ(machine.mc.served(ReqKind::Writeback), 1u);
+}
+
+TEST(Machine, McRequestsSumsAllKinds)
+{
+    Machine machine(SystemConfig::skylakeScaled());
+    for (ReqKind kind : {ReqKind::Regular, ReqKind::Replay,
+                         ReqKind::PtWalk, ReqKind::ImpPrefetch}) {
+        MemRequest req;
+        req.paddr = static_cast<Addr>(kind) << 16;
+        req.kind = kind;
+        machine.mc.submit(std::move(req));
+    }
+    machine.eq.runAll();
+    EXPECT_EQ(machine.mcRequests(), 4u);
+}
+
+} // namespace
+} // namespace tempo

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "vm/mmu_cache.hh"
+
+namespace tempo {
+namespace {
+
+TEST(MmuCache, ColdLookupReturnsFive)
+{
+    MmuCache mmu(MmuCacheConfig{});
+    EXPECT_EQ(mmu.deepestCached(0x12345678), 5);
+    EXPECT_EQ(mmu.misses(), 1u);
+}
+
+TEST(MmuCache, FillEnablesSkip)
+{
+    MmuCache mmu(MmuCacheConfig{});
+    const Addr vaddr = 0x7fff12345000ull;
+    mmu.fill(vaddr, 4);
+    EXPECT_EQ(mmu.deepestCached(vaddr), 4);
+    mmu.fill(vaddr, 3);
+    EXPECT_EQ(mmu.deepestCached(vaddr), 3);
+    mmu.fill(vaddr, 2);
+    EXPECT_EQ(mmu.deepestCached(vaddr), 2);
+}
+
+TEST(MmuCache, DeepestWins)
+{
+    MmuCache mmu(MmuCacheConfig{});
+    const Addr vaddr = 0x7fff12345000ull;
+    mmu.fill(vaddr, 2);
+    mmu.fill(vaddr, 4);
+    // The L2-level entry lets the walk skip straight to the leaf.
+    EXPECT_EQ(mmu.deepestCached(vaddr), 2);
+}
+
+TEST(MmuCache, EntryCoversItsRegion)
+{
+    MmuCache mmu(MmuCacheConfig{});
+    const Addr base = 0x40000000ull; // 1GB-aligned
+    mmu.fill(base, 3); // L3 entry covers a 1GB region
+    EXPECT_EQ(mmu.deepestCached(base + 123 * kPageBytes), 3);
+    EXPECT_EQ(mmu.deepestCached(base + kPage1GBytes), 5);
+}
+
+TEST(MmuCache, L2EntryCoversTwoMegRegion)
+{
+    MmuCache mmu(MmuCacheConfig{});
+    const Addr base = 0x40000000ull;
+    mmu.fill(base, 2);
+    EXPECT_EQ(mmu.deepestCached(base + kPage2MBytes - 1), 2);
+    EXPECT_EQ(mmu.deepestCached(base + kPage2MBytes), 5);
+}
+
+TEST(MmuCache, DistinctRegionsIndependent)
+{
+    MmuCache mmu(MmuCacheConfig{});
+    mmu.fill(0x0ull, 2);
+    EXPECT_EQ(mmu.deepestCached(0x0ull), 2);
+    EXPECT_EQ(mmu.deepestCached(0x10000000000ull), 5);
+}
+
+TEST(MmuCache, ResetForgets)
+{
+    MmuCache mmu(MmuCacheConfig{});
+    mmu.fill(0x1000, 4);
+    mmu.reset();
+    EXPECT_EQ(mmu.deepestCached(0x1000), 5);
+}
+
+TEST(MmuCache, CapacityEviction)
+{
+    MmuCacheConfig cfg;
+    cfg.entriesPerLevel = 4;
+    cfg.assoc = 4;
+    MmuCache mmu(cfg);
+    // Fill 8 distinct L4 regions into a 4-entry cache.
+    for (Addr i = 0; i < 8; ++i)
+        mmu.fill(i << 39, 4);
+    int cached = 0;
+    for (Addr i = 0; i < 8; ++i) {
+        if (mmu.deepestCached(i << 39) == 4)
+            ++cached;
+    }
+    EXPECT_EQ(cached, 4);
+}
+
+TEST(MmuCacheDeathTest, RejectsLeafFills)
+{
+    MmuCache mmu(MmuCacheConfig{});
+    EXPECT_DEATH(mmu.fill(0x1000, 1), "upper levels");
+}
+
+TEST(MmuCache, ReportHasHitRate)
+{
+    MmuCache mmu(MmuCacheConfig{});
+    mmu.deepestCached(0x1000);
+    mmu.fill(0x1000, 4);
+    mmu.deepestCached(0x1000);
+    stats::Report report;
+    mmu.report(report);
+    EXPECT_DOUBLE_EQ(report.get("hit_rate"), 0.5);
+}
+
+} // namespace
+} // namespace tempo

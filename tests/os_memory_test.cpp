@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "vm/os_memory.hh"
+
+namespace tempo {
+namespace {
+
+TEST(OsMemory, FourKFramesAreSequentialWithinBlocks)
+{
+    OsMemory os{OsMemoryConfig{}};
+    const Addr a = os.allocFrame(PageSize::Page4K);
+    const Addr b = os.allocFrame(PageSize::Page4K);
+    EXPECT_EQ(b, a + kPageBytes);
+}
+
+TEST(OsMemory, FramesAreAligned)
+{
+    OsMemory os{OsMemoryConfig{}};
+    EXPECT_EQ(os.allocFrame(PageSize::Page4K) % kPageBytes, 0u);
+    EXPECT_EQ(os.allocFrame(PageSize::Page2M) % kPage2MBytes, 0u);
+    EXPECT_EQ(os.allocFrame(PageSize::Page1G) % kPage1GBytes, 0u);
+}
+
+TEST(OsMemory, FramesNeverOverlap)
+{
+    OsMemory os{OsMemoryConfig{}};
+    std::set<Addr> blocks;
+    for (int i = 0; i < 2000; ++i) {
+        const Addr frame = os.allocFrame(PageSize::Page4K);
+        EXPECT_TRUE(blocks.insert(frame).second);
+    }
+    for (int i = 0; i < 50; ++i) {
+        const Addr frame = os.allocFrame(PageSize::Page2M);
+        // A 2MB frame must not collide with any prior 4KB frame.
+        for (Addr f : blocks)
+            EXPECT_TRUE(f < frame || f >= frame + kPage2MBytes);
+    }
+}
+
+TEST(OsMemory, PtNodesInterleaveWithDataFrames)
+{
+    // Page-table pages come from the same carving pool as 4KB data
+    // pages, so they land in the same DRAM neighbourhoods — the layout
+    // property TEMPO's row-conflict story depends on.
+    OsMemory os{OsMemoryConfig{}};
+    const Addr d1 = os.allocFrame(PageSize::Page4K);
+    const Addr pt = os.allocPtNode();
+    const Addr d2 = os.allocFrame(PageSize::Page4K);
+    EXPECT_EQ(pt, d1 + kPageBytes);
+    EXPECT_EQ(d2, pt + kPageBytes);
+    EXPECT_EQ(os.ptBytesAllocated(), kPageBytes);
+}
+
+TEST(OsMemory, NoFragmentationMeansSuperpagesAlwaysSucceed)
+{
+    OsMemory os{OsMemoryConfig{}};
+    for (int i = 0; i < 100; ++i)
+        EXPECT_NE(os.allocFrame(PageSize::Page2M), kInvalidAddr);
+    EXPECT_NE(os.allocFrame(PageSize::Page1G), kInvalidAddr);
+    EXPECT_EQ(os.superpageFailures(), 0u);
+}
+
+TEST(OsMemory, HeavyFragmentationFails1G)
+{
+    OsMemoryConfig cfg;
+    cfg.fragLevel = 0.25;
+    OsMemory os(cfg);
+    // (1-0.25)^512 ~ 0: 1GB allocations must essentially always fail.
+    int failures = 0;
+    for (int i = 0; i < 20; ++i) {
+        if (os.allocFrame(PageSize::Page1G) == kInvalidAddr)
+            ++failures;
+    }
+    EXPECT_EQ(failures, 20);
+    EXPECT_EQ(os.superpageFailures(), 20u);
+}
+
+TEST(OsMemory, FragmentationDegrades2MSuccess)
+{
+    // Property: higher memhog levels make 2MB allocation fail more.
+    auto failure_rate = [](double frag) {
+        OsMemoryConfig cfg;
+        cfg.fragLevel = frag;
+        cfg.seed = 99;
+        OsMemory os(cfg);
+        int failures = 0;
+        const int trials = 400;
+        for (int i = 0; i < trials; ++i) {
+            if (os.allocFrame(PageSize::Page2M) == kInvalidAddr)
+                ++failures;
+        }
+        return static_cast<double>(failures) / trials;
+    };
+    const double f0 = failure_rate(0.0);
+    const double f50 = failure_rate(0.5);
+    const double f75 = failure_rate(0.75);
+    EXPECT_EQ(f0, 0.0);
+    EXPECT_GT(f75, f50);
+}
+
+TEST(OsMemory, FrameCountersTrackAllocations)
+{
+    OsMemory os{OsMemoryConfig{}};
+    os.allocFrame(PageSize::Page4K);
+    os.allocFrame(PageSize::Page4K);
+    os.allocFrame(PageSize::Page2M);
+    EXPECT_EQ(os.framesAllocated(PageSize::Page4K), 2u);
+    EXPECT_EQ(os.framesAllocated(PageSize::Page2M), 1u);
+    EXPECT_EQ(os.framesAllocated(PageSize::Page1G), 0u);
+    EXPECT_EQ(os.dataBytesAllocated(), 2 * kPageBytes + kPage2MBytes);
+}
+
+TEST(OsMemory, DeterministicForSeed)
+{
+    OsMemoryConfig cfg;
+    cfg.fragLevel = 0.3;
+    cfg.seed = 42;
+    OsMemory a(cfg), b(cfg);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(a.allocFrame(PageSize::Page4K),
+                  b.allocFrame(PageSize::Page4K));
+}
+
+TEST(OsMemory, ReportIsComplete)
+{
+    OsMemory os{OsMemoryConfig{}};
+    os.allocFrame(PageSize::Page4K);
+    stats::Report report;
+    os.report(report);
+    EXPECT_TRUE(report.has("data_bytes"));
+    EXPECT_TRUE(report.has("pt_bytes"));
+    EXPECT_TRUE(report.has("superpage_failures"));
+}
+
+TEST(OsMemoryDeathTest, RejectsBadFragLevel)
+{
+    OsMemoryConfig cfg;
+    cfg.fragLevel = 1.5;
+    EXPECT_DEATH(OsMemory{cfg}, "fragmentation");
+}
+
+} // namespace
+} // namespace tempo

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "vm/page_table.hh"
+
+namespace tempo {
+namespace {
+
+struct PageTableFixture : public ::testing::Test {
+    OsMemory os{OsMemoryConfig{}};
+    PageTable table{os};
+};
+
+TEST_F(PageTableFixture, IndexAtSlicesNineBitsPerLevel)
+{
+    // vaddr bit layout: [47:39]=L4, [38:30]=L3, [29:21]=L2, [20:12]=L1.
+    const Addr vaddr = (Addr{3} << 39) | (Addr{5} << 30)
+        | (Addr{7} << 21) | (Addr{9} << 12) | 0x123;
+    EXPECT_EQ(PageTable::indexAt(vaddr, 4), 3u);
+    EXPECT_EQ(PageTable::indexAt(vaddr, 3), 5u);
+    EXPECT_EQ(PageTable::indexAt(vaddr, 2), 7u);
+    EXPECT_EQ(PageTable::indexAt(vaddr, 1), 9u);
+}
+
+TEST_F(PageTableFixture, UnmappedTranslateIsInvalid)
+{
+    EXPECT_FALSE(table.translate(0x1234000).valid);
+}
+
+TEST_F(PageTableFixture, MapThenTranslate4K)
+{
+    const Addr frame = os.allocFrame(PageSize::Page4K);
+    table.map(0x1234000, PageSize::Page4K, frame);
+    const Translation xlate = table.translate(0x1234567);
+    ASSERT_TRUE(xlate.valid);
+    EXPECT_EQ(xlate.pframe, frame);
+    EXPECT_EQ(xlate.size, PageSize::Page4K);
+    EXPECT_EQ(xlate.physAddr(0x1234567), frame + 0x567);
+}
+
+TEST_F(PageTableFixture, MapThenTranslate2M)
+{
+    const Addr frame = os.allocFrame(PageSize::Page2M);
+    table.map(0x40000000, PageSize::Page2M, frame);
+    const Translation xlate = table.translate(0x40123456);
+    ASSERT_TRUE(xlate.valid);
+    EXPECT_EQ(xlate.size, PageSize::Page2M);
+    EXPECT_EQ(xlate.physAddr(0x40123456), frame + 0x123456);
+}
+
+TEST_F(PageTableFixture, FullWalkHasFourLevels)
+{
+    const Addr frame = os.allocFrame(PageSize::Page4K);
+    table.map(0x1234000, PageSize::Page4K, frame);
+    const WalkResult walk = table.walk(0x1234000);
+    ASSERT_TRUE(walk.xlate.valid);
+    ASSERT_EQ(walk.steps.size(), 4u);
+    EXPECT_EQ(walk.steps[0].level, 4);
+    EXPECT_EQ(walk.steps[1].level, 3);
+    EXPECT_EQ(walk.steps[2].level, 2);
+    EXPECT_EQ(walk.steps[3].level, 1);
+    // The first step reads the root node.
+    EXPECT_EQ(alignDown(walk.steps[0].pteAddr, kPageBytes),
+              table.rootAddr());
+}
+
+TEST_F(PageTableFixture, SuperpageWalksAreShorter)
+{
+    table.map(0x40000000, PageSize::Page2M,
+              os.allocFrame(PageSize::Page2M));
+    EXPECT_EQ(table.walk(0x40000000).steps.size(), 3u);
+
+    table.map(0x80000000ull, PageSize::Page1G,
+              os.allocFrame(PageSize::Page1G));
+    EXPECT_EQ(table.walk(0x80000000ull).steps.size(), 2u);
+}
+
+TEST_F(PageTableFixture, PteAddressesMatchIndices)
+{
+    const Addr vaddr = 0x1234000;
+    table.map(vaddr, PageSize::Page4K, os.allocFrame(PageSize::Page4K));
+    const WalkResult walk = table.walk(vaddr);
+    for (const WalkStep &step : walk.steps) {
+        // Each PTE sits at node_base + index*8; check the offset part.
+        const unsigned index = PageTable::indexAt(vaddr, step.level);
+        EXPECT_EQ(step.pteAddr % kPageBytes, index * kPteBytes)
+            << "level " << step.level;
+    }
+}
+
+TEST_F(PageTableFixture, FaultingWalkStopsAtMissingLevel)
+{
+    // Map one page; a cousin address sharing only the L4 entry walks
+    // down to the missing L3 entry and stops.
+    table.map(0x0, PageSize::Page4K, os.allocFrame(PageSize::Page4K));
+    const Addr cousin = Addr{1} << 30; // same L4 index, different L3
+    const WalkResult walk = table.walk(cousin);
+    EXPECT_FALSE(walk.xlate.valid);
+    EXPECT_EQ(walk.steps.size(), 2u); // read L4 (present), L3 (absent)
+}
+
+TEST_F(PageTableFixture, NodesGetDistinctFrames)
+{
+    table.map(0x0, PageSize::Page4K, os.allocFrame(PageSize::Page4K));
+    const WalkResult walk = table.walk(0x0);
+    for (std::size_t i = 0; i < walk.steps.size(); ++i) {
+        for (std::size_t j = i + 1; j < walk.steps.size(); ++j) {
+            EXPECT_NE(alignDown(walk.steps[i].pteAddr, kPageBytes),
+                      alignDown(walk.steps[j].pteAddr, kPageBytes));
+        }
+    }
+}
+
+TEST_F(PageTableFixture, NodeCountGrowsOnDemand)
+{
+    EXPECT_EQ(table.nodeCount(), 1u); // root
+    table.map(0x0, PageSize::Page4K, os.allocFrame(PageSize::Page4K));
+    EXPECT_EQ(table.nodeCount(), 4u); // root + L3 + L2 + L1 nodes
+    // A sibling page in the same 2MB region reuses every node.
+    table.map(kPageBytes, PageSize::Page4K,
+              os.allocFrame(PageSize::Page4K));
+    EXPECT_EQ(table.nodeCount(), 4u);
+    // A distant page needs a whole new subtree.
+    table.map(Addr{1} << 39, PageSize::Page4K,
+              os.allocFrame(PageSize::Page4K));
+    EXPECT_EQ(table.nodeCount(), 7u);
+}
+
+TEST_F(PageTableFixture, PtNodesConsumeOsMemory)
+{
+    const Addr before = os.ptBytesAllocated();
+    table.map(0x5555000, PageSize::Page4K,
+              os.allocFrame(PageSize::Page4K));
+    EXPECT_GT(os.ptBytesAllocated(), before);
+}
+
+TEST_F(PageTableFixture, AdjacentPagesShareLeafPteLine)
+{
+    // 8 PTEs per 64B line: pages 0..7 of a 2MB region share a line —
+    // the spatial-locality property the paper's Fig. 8 exploits.
+    for (Addr page = 0; page < 8; ++page) {
+        table.map(page * kPageBytes, PageSize::Page4K,
+                  os.allocFrame(PageSize::Page4K));
+    }
+    const Addr line0 = lineAddr(table.walk(0).steps.back().pteAddr);
+    for (Addr page = 1; page < 8; ++page) {
+        EXPECT_EQ(lineAddr(table.walk(page * kPageBytes)
+                               .steps.back()
+                               .pteAddr),
+                  line0);
+    }
+    table.map(8 * kPageBytes, PageSize::Page4K,
+              os.allocFrame(PageSize::Page4K));
+    EXPECT_NE(lineAddr(table.walk(8 * kPageBytes).steps.back().pteAddr),
+              line0);
+}
+
+TEST_F(PageTableFixture, DoubleMapDies)
+{
+    table.map(0x9000, PageSize::Page4K, os.allocFrame(PageSize::Page4K));
+    EXPECT_DEATH(table.map(0x9000, PageSize::Page4K,
+                           os.allocFrame(PageSize::Page4K)),
+                 "double mapping");
+}
+
+TEST_F(PageTableFixture, MisalignedFrameDies)
+{
+    EXPECT_DEATH(table.map(0x40000000, PageSize::Page2M, 0x1000),
+                 "aligned");
+}
+
+} // namespace
+} // namespace tempo

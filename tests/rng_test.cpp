@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace tempo {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    // Mean should be near 0.5.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if (rng.chance(0.3))
+            ++hits;
+    }
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, SkewedBelowRespectsBound)
+{
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.skewedBelow(100, 10, 0.5), 100u);
+}
+
+TEST(Rng, SkewedBelowConcentratesOnHotSet)
+{
+    Rng rng(23);
+    int hot = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        if (rng.skewedBelow(1000000, 10, 0.8) < 10)
+            ++hot;
+    }
+    // ~80% should land in the hot set (plus a negligible uniform tail).
+    EXPECT_GT(hot, trials * 7 / 10);
+}
+
+TEST(Rng, SkewedBelowDegeneratesToUniform)
+{
+    Rng rng(29);
+    // hot_count == count disables the hot path entirely.
+    int low = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if (rng.skewedBelow(100, 100, 0.9) < 10)
+            ++low;
+    }
+    EXPECT_NEAR(low / 10000.0, 0.1, 0.03);
+}
+
+} // namespace
+} // namespace tempo

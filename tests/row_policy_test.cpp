@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "dram/row_policy.hh"
+
+namespace tempo {
+namespace {
+
+DramConfig
+withPolicy(RowPolicyKind kind)
+{
+    DramConfig cfg;
+    cfg.rowPolicy = kind;
+    return cfg;
+}
+
+TEST(RowPolicy, OpenAlwaysKeepsOpen)
+{
+    RowPolicy policy(withPolicy(RowPolicyKind::Open));
+    for (Addr row = 0; row < 100; ++row)
+        EXPECT_TRUE(policy.keepOpenAfterAccess(row));
+}
+
+TEST(RowPolicy, ClosedAlwaysCloses)
+{
+    RowPolicy policy(withPolicy(RowPolicyKind::Closed));
+    for (Addr row = 0; row < 100; ++row)
+        EXPECT_FALSE(policy.keepOpenAfterAccess(row));
+}
+
+TEST(RowPolicy, AdaptiveDefaultsToOpen)
+{
+    RowPolicy policy(withPolicy(RowPolicyKind::Adaptive));
+    // Unknown rows are optimistically kept open.
+    EXPECT_TRUE(policy.keepOpenAfterAccess(42));
+}
+
+TEST(RowPolicy, AdaptiveLearnsDeadRows)
+{
+    RowPolicy policy(withPolicy(RowPolicyKind::Adaptive));
+    // Repeatedly close row 7 with zero hits: the predictor should learn
+    // to close it.
+    for (int i = 0; i < 4; ++i)
+        policy.rowClosed(7, 0);
+    EXPECT_FALSE(policy.keepOpenAfterAccess(7));
+}
+
+TEST(RowPolicy, AdaptiveLearnsLiveRows)
+{
+    RowPolicy policy(withPolicy(RowPolicyKind::Adaptive));
+    for (int i = 0; i < 4; ++i)
+        policy.rowClosed(9, 0);
+    ASSERT_FALSE(policy.keepOpenAfterAccess(9));
+    // Row 9 starts earning hits again: predictor recovers.
+    for (int i = 0; i < 4; ++i)
+        policy.rowClosed(9, 3);
+    EXPECT_TRUE(policy.keepOpenAfterAccess(9));
+}
+
+TEST(RowPredictor, IndependentRows)
+{
+    RowPredictor pred(16, 2);
+    for (int i = 0; i < 4; ++i)
+        pred.update(1, 0);
+    pred.update(2, 5);
+    EXPECT_FALSE(pred.predictKeepOpen(1));
+    EXPECT_TRUE(pred.predictKeepOpen(2));
+}
+
+TEST(RowPredictor, EvictsLruWithinSet)
+{
+    // 1 set, 2 ways: training a third row evicts the least recently
+    // used one, which then falls back to the optimistic default.
+    RowPredictor pred(1, 2);
+    for (int i = 0; i < 4; ++i)
+        pred.update(10, 0);
+    for (int i = 0; i < 4; ++i)
+        pred.update(11, 0);
+    EXPECT_FALSE(pred.predictKeepOpen(10));
+    EXPECT_FALSE(pred.predictKeepOpen(11));
+    pred.update(12, 0); // evicts row 10 (LRU)
+    EXPECT_TRUE(pred.predictKeepOpen(10)); // forgotten -> default open
+    EXPECT_FALSE(pred.predictKeepOpen(11));
+}
+
+TEST(RowPredictor, SaturatingCounterRecovery)
+{
+    RowPredictor pred(8, 4);
+    // Drive to the bottom, then verify two good closures flip it back.
+    for (int i = 0; i < 10; ++i)
+        pred.update(3, 0);
+    EXPECT_FALSE(pred.predictKeepOpen(3));
+    pred.update(3, 1);
+    pred.update(3, 1);
+    EXPECT_TRUE(pred.predictKeepOpen(3));
+}
+
+class RowPolicyKindSweep
+    : public ::testing::TestWithParam<RowPolicyKind>
+{
+};
+
+TEST_P(RowPolicyKindSweep, NameIsNonEmpty)
+{
+    EXPECT_STRNE(rowPolicyName(GetParam()), "");
+    EXPECT_STRNE(rowPolicyName(GetParam()), "?");
+}
+
+TEST_P(RowPolicyKindSweep, PolicyConstructsAndAnswers)
+{
+    RowPolicy policy(withPolicy(GetParam()));
+    policy.rowClosed(1, 1);
+    (void)policy.keepOpenAfterAccess(1);
+    EXPECT_EQ(policy.kind(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, RowPolicyKindSweep,
+                         ::testing::Values(RowPolicyKind::Open,
+                                           RowPolicyKind::Closed,
+                                           RowPolicyKind::Adaptive));
+
+} // namespace
+} // namespace tempo

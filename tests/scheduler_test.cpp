@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "mc/scheduler.hh"
+
+namespace tempo {
+namespace {
+
+struct SchedulerFixture : public ::testing::Test {
+    DramConfig dram_cfg;
+    std::unique_ptr<DramDevice> dram;
+    SchedulerConfig cfg;
+    std::uint64_t seq = 0;
+
+    void
+    SetUp() override
+    {
+        dram_cfg.rowPolicy = RowPolicyKind::Open;
+        dram = std::make_unique<DramDevice>(dram_cfg);
+    }
+
+    QueuedRequest
+    make(Addr paddr, ReqKind kind = ReqKind::Regular, Cycle arrival = 0,
+         AppId app = 0)
+    {
+        QueuedRequest entry;
+        entry.req.paddr = paddr;
+        entry.req.kind = kind;
+        entry.req.app = app;
+        entry.arrival = arrival;
+        entry.seq = seq++;
+        return entry;
+    }
+
+    /** Open the row containing @p paddr. */
+    void
+    openRow(Addr paddr)
+    {
+        dram->access(paddr, false, false, 0, 0, 0);
+    }
+};
+
+TEST_F(SchedulerFixture, PrefersRowHit)
+{
+    FrFcfsScheduler sched(cfg);
+    openRow(0x10000);
+    std::vector<QueuedRequest> queue;
+    queue.push_back(make(0x900000));        // older, row closed
+    queue.push_back(make(0x10040));         // row hit
+    EXPECT_EQ(sched.pick(queue, *dram, 1000), 1u);
+}
+
+TEST_F(SchedulerFixture, OldestWinsWithoutRowHits)
+{
+    FrFcfsScheduler sched(cfg);
+    std::vector<QueuedRequest> queue;
+    queue.push_back(make(0x900000));
+    queue.push_back(make(0xa00000));
+    EXPECT_EQ(sched.pick(queue, *dram, 1000), 0u);
+}
+
+TEST_F(SchedulerFixture, StarvationGuardOverridesRowHit)
+{
+    cfg.starvationLimit = 100;
+    FrFcfsScheduler sched(cfg);
+    openRow(0x10000);
+    std::vector<QueuedRequest> queue;
+    queue.push_back(make(0x900000, ReqKind::Regular, /*arrival=*/0));
+    queue.push_back(make(0x10040, ReqKind::Regular, /*arrival=*/990));
+    // At t=1000 the first request has waited 1000 > 100 cycles.
+    EXPECT_EQ(sched.pick(queue, *dram, 1000), 0u);
+}
+
+TEST_F(SchedulerFixture, TempoGroupingPrioritizesPtAccesses)
+{
+    cfg.tempoGrouping = true;
+    FrFcfsScheduler sched(cfg);
+    openRow(0x10000);
+    std::vector<QueuedRequest> queue;
+    queue.push_back(make(0x10040, ReqKind::Regular)); // row hit, older
+    queue.push_back(make(0x900000, ReqKind::PtWalk)); // PT, no row hit
+    EXPECT_EQ(sched.pick(queue, *dram, 100), 1u);
+}
+
+TEST_F(SchedulerFixture, TempoGroupingGroupsPtByRow)
+{
+    cfg.tempoGrouping = true;
+    FrFcfsScheduler sched(cfg);
+    openRow(0x10000);
+    std::vector<QueuedRequest> queue;
+    queue.push_back(make(0x900000, ReqKind::PtWalk)); // PT, row closed
+    queue.push_back(make(0x10040, ReqKind::PtWalk));  // PT, row hit
+    // Row-hitting PT access wins even though it is younger: this is the
+    // paper's Fig. 8 same-row PT grouping. (t=500: the bank that served
+    // openRow() is ready again, so no busy-bank demotion applies.)
+    EXPECT_EQ(sched.pick(queue, *dram, 500), 1u);
+}
+
+TEST_F(SchedulerFixture, TempoGroupingPutsPrefetchAboveRegularRowHit)
+{
+    cfg.tempoGrouping = true;
+    FrFcfsScheduler sched(cfg);
+    openRow(0x10000);
+    std::vector<QueuedRequest> queue;
+    queue.push_back(make(0x10040, ReqKind::Regular));        // row hit
+    queue.push_back(make(0x900000, ReqKind::TempoPrefetch)); // no hit
+    EXPECT_EQ(sched.pick(queue, *dram, 100), 1u);
+}
+
+TEST_F(SchedulerFixture, WithoutGroupingPtIsNotSpecial)
+{
+    cfg.tempoGrouping = false;
+    FrFcfsScheduler sched(cfg);
+    openRow(0x10000);
+    std::vector<QueuedRequest> queue;
+    queue.push_back(make(0x10040, ReqKind::Regular)); // row hit
+    queue.push_back(make(0x900000, ReqKind::PtWalk));
+    EXPECT_EQ(sched.pick(queue, *dram, 100), 0u);
+}
+
+TEST_F(SchedulerFixture, BusyBankLosesToReadyBank)
+{
+    FrFcfsScheduler sched(cfg);
+    // Make bank of 0x0 busy until far future.
+    dram->access(0, false, false, 0, 0, 0);
+    std::vector<QueuedRequest> queue;
+    // Same bank as the in-flight access (row conflict and bank busy).
+    queue.push_back(make(1ull << 22, ReqKind::Regular));
+    // Different channel: its bank is idle. (Row closed for both.)
+    queue.push_back(make(dram_cfg.rowBufferBytes + (1ull << 22)));
+    EXPECT_EQ(sched.pick(queue, *dram, 10), 1u);
+}
+
+TEST_F(SchedulerFixture, SingleEntryQueueAlwaysPicksIt)
+{
+    FrFcfsScheduler sched(cfg);
+    std::vector<QueuedRequest> queue;
+    queue.push_back(make(0x1234000));
+    EXPECT_EQ(sched.pick(queue, *dram, 0), 0u);
+}
+
+} // namespace
+} // namespace tempo

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace tempo::stats {
+namespace {
+
+TEST(Scalar, IncrementAndReset)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0u);
+    s.inc();
+    s.inc(4);
+    ++s;
+    s += 10;
+    EXPECT_EQ(s.value(), 16u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+    s.set(99);
+    EXPECT_EQ(s.value(), 99u);
+}
+
+TEST(Distribution, TracksMinMaxMean)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    d.sample(10);
+    d.sample(20);
+    d.sample(0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 10.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 20.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+}
+
+TEST(Histogram, BucketsSamples)
+{
+    Histogram h(10.0, 4);
+    h.sample(0);
+    h.sample(9.9);
+    h.sample(10);
+    h.sample(35);
+    h.sample(1000); // clamps to last bucket
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 2u);
+}
+
+TEST(Ratio, HandlesZeroDenominator)
+{
+    EXPECT_EQ(ratio(std::uint64_t{5}, std::uint64_t{0}), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(std::uint64_t{1}, std::uint64_t{4}), 0.25);
+    EXPECT_EQ(ratio(1.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(3.0, 6.0), 0.5);
+}
+
+TEST(Report, AddAndGet)
+{
+    Report r;
+    r.add("alpha", 1.5);
+    r.add("beta", std::uint64_t{7});
+    EXPECT_DOUBLE_EQ(r.get("alpha"), 1.5);
+    EXPECT_DOUBLE_EQ(r.get("beta"), 7.0);
+    EXPECT_TRUE(r.has("alpha"));
+    EXPECT_FALSE(r.has("gamma"));
+}
+
+TEST(ReportDeathTest, GetMissingPanics)
+{
+    Report r;
+    EXPECT_DEATH(r.get("nope"), "no stat named");
+}
+
+TEST(Report, MergeAddsPrefix)
+{
+    Report inner;
+    inner.add("x", 1.0);
+    Report outer;
+    outer.add("y", 2.0);
+    outer.merge("sub.", inner);
+    EXPECT_DOUBLE_EQ(outer.get("sub.x"), 1.0);
+    EXPECT_DOUBLE_EQ(outer.get("y"), 2.0);
+}
+
+TEST(Report, PreservesInsertionOrder)
+{
+    Report r;
+    r.add("z", 1.0);
+    r.add("a", 2.0);
+    ASSERT_EQ(r.entries().size(), 2u);
+    EXPECT_EQ(r.entries()[0].first, "z");
+    EXPECT_EQ(r.entries()[1].first, "a");
+}
+
+TEST(Report, TextOutputContainsNames)
+{
+    Report r;
+    r.add("runtime", 123.0);
+    std::ostringstream os;
+    r.printText(os);
+    EXPECT_NE(os.str().find("runtime"), std::string::npos);
+    EXPECT_NE(os.str().find("123"), std::string::npos);
+}
+
+TEST(Report, CsvOutputHasHeaderAndRow)
+{
+    Report r;
+    r.add("a", 1.0);
+    r.add("b", 2.0);
+    std::ostringstream os;
+    r.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+} // namespace
+} // namespace tempo::stats

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "core/tempo_system.hh"
+#include "prefetch/stride.hh"
+
+namespace tempo {
+namespace {
+
+StrideConfig
+enabled()
+{
+    StrideConfig cfg;
+    cfg.enabled = true;
+    return cfg;
+}
+
+TEST(Stride, DisabledIssuesNothing)
+{
+    StridePrefetcher pf{StrideConfig{}};
+    std::vector<Addr> out;
+    for (int i = 0; i < 100; ++i) {
+        pf.observe(1, 0x1000 + i * 64, out);
+        EXPECT_TRUE(out.empty());
+    }
+}
+
+TEST(Stride, DetectsConstantStride)
+{
+    StrideConfig cfg = enabled();
+    cfg.confidenceThreshold = 2;
+    cfg.degree = 1;
+    cfg.distance = 4;
+    StridePrefetcher pf(cfg);
+    std::vector<Addr> out;
+    // addr, addr+64, addr+128: two matching strides -> confident.
+    pf.observe(1, 0x1000, out);
+    EXPECT_TRUE(out.empty());
+    pf.observe(1, 0x1040, out);
+    EXPECT_TRUE(out.empty()); // first stride observation
+    pf.observe(1, 0x1080, out);
+    EXPECT_TRUE(out.empty()); // confidence 1 < 2
+    pf.observe(1, 0x10c0, out);
+    ASSERT_EQ(out.size(), 1u); // confidence 2: prefetch
+    EXPECT_EQ(out[0], 0x10c0 + 4 * 64u);
+}
+
+TEST(Stride, DegreeIssuesConsecutiveSteps)
+{
+    StrideConfig cfg = enabled();
+    cfg.confidenceThreshold = 1;
+    cfg.degree = 3;
+    cfg.distance = 2;
+    StridePrefetcher pf(cfg);
+    std::vector<Addr> out;
+    pf.observe(1, 0x1000, out);
+    pf.observe(1, 0x1100, out);
+    pf.observe(1, 0x1200, out);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], 0x1200 + 2 * 0x100u);
+    EXPECT_EQ(out[1], 0x1200 + 3 * 0x100u);
+    EXPECT_EQ(out[2], 0x1200 + 4 * 0x100u);
+}
+
+TEST(Stride, IrregularStreamNeverTriggers)
+{
+    StridePrefetcher pf(enabled());
+    std::vector<Addr> out;
+    std::uint64_t x = 99;
+    for (int i = 0; i < 500; ++i) {
+        x = x * 6364136223846793005ull + 1;
+        pf.observe(1, x % (1ull << 30), out);
+        EXPECT_TRUE(out.empty()) << i;
+    }
+}
+
+TEST(Stride, StrideChangeResetsConfidence)
+{
+    StrideConfig cfg = enabled();
+    cfg.confidenceThreshold = 2;
+    StridePrefetcher pf(cfg);
+    std::vector<Addr> out;
+    pf.observe(1, 0x1000, out);
+    pf.observe(1, 0x1040, out);
+    pf.observe(1, 0x1080, out);
+    pf.observe(1, 0x2000, out); // break the pattern
+    EXPECT_TRUE(out.empty());
+    pf.observe(1, 0x2040, out);
+    EXPECT_TRUE(out.empty()); // must retrain
+}
+
+TEST(Stride, NegativeStridesWork)
+{
+    StrideConfig cfg = enabled();
+    cfg.confidenceThreshold = 1;
+    cfg.degree = 1;
+    cfg.distance = 1;
+    StridePrefetcher pf(cfg);
+    std::vector<Addr> out;
+    pf.observe(1, 0x10000, out);
+    pf.observe(1, 0x10000 - 64, out);
+    pf.observe(1, 0x10000 - 128, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 0x10000 - 192u);
+}
+
+TEST(Stride, StreamsAreIndependent)
+{
+    StrideConfig cfg = enabled();
+    cfg.confidenceThreshold = 1;
+    StridePrefetcher pf(cfg);
+    std::vector<Addr> out;
+    // Interleave two streams with different strides; both must train.
+    for (int i = 1; i <= 4; ++i) {
+        pf.observe(1, 0x1000 + i * 64ull, out);
+        pf.observe(2, 0x900000 + i * 4096ull, out);
+    }
+    EXPECT_EQ(pf.confidentStreams(), 2u);
+}
+
+TEST(Stride, SystemRunWithStrideWorks)
+{
+    SystemConfig cfg = SystemConfig::skylakeScaled();
+    cfg.stride.enabled = true;
+    TempoSystem system(cfg, makeWorkload("sgms", cfg.seed));
+    const RunResult result = system.run(20000);
+    // sgms has sequential sweeps: the stride prefetcher must fire.
+    EXPECT_GT(result.core.strideIssued, 0u);
+}
+
+TEST(Stride, TempoStillWinsWithStride)
+{
+    SystemConfig base = SystemConfig::skylakeScaled();
+    base.stride.enabled = true;
+    SystemConfig tempo_cfg = base;
+    tempo_cfg.withTempo(true);
+    const RunResult off = runWorkload(base, "xsbench", 20000);
+    const RunResult on = runWorkload(tempo_cfg, "xsbench", 20000);
+    EXPECT_LE(on.runtime, off.runtime);
+}
+
+TEST(TlbPrefetch, ExtensionFiresOnSequentialWorkloads)
+{
+    SystemConfig cfg = SystemConfig::skylakeScaled();
+    cfg.tlbPrefetchNext = true;
+    TempoSystem system(cfg, makeWorkload("sgms", cfg.seed));
+    const RunResult result = system.run(20000);
+    EXPECT_GT(result.core.tlbPrefetches, 0u);
+}
+
+TEST(TlbPrefetch, OffByDefault)
+{
+    SystemConfig cfg = SystemConfig::skylakeScaled();
+    const RunResult result = runWorkload(cfg, "sgms", 10000);
+    EXPECT_EQ(result.core.tlbPrefetches, 0u);
+}
+
+} // namespace
+} // namespace tempo

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "vm/tlb.hh"
+
+namespace tempo {
+namespace {
+
+TEST(Tlb, MissThenHitAfterFill)
+{
+    Tlb tlb(TlbConfig{});
+    const TlbResult miss = tlb.lookup(0x1234000);
+    EXPECT_FALSE(miss.hit);
+    tlb.fill(0x1234000, PageSize::Page4K);
+    const TlbResult hit = tlb.lookup(0x1234000);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.size, PageSize::Page4K);
+}
+
+TEST(Tlb, L1HitIsFasterThanL2Hit)
+{
+    TlbConfig cfg;
+    Tlb tlb(cfg);
+    tlb.fill(0x1000, PageSize::Page4K);
+    const TlbResult l1 = tlb.lookup(0x1000);
+    EXPECT_EQ(l1.latency, cfg.l1Latency);
+    const TlbResult miss = tlb.lookup(0x999999000);
+    EXPECT_EQ(miss.latency, cfg.l1Latency + cfg.l2Latency);
+}
+
+TEST(Tlb, HitCoversWholePage)
+{
+    Tlb tlb(TlbConfig{});
+    tlb.fill(0x4000, PageSize::Page4K);
+    EXPECT_TRUE(tlb.lookup(0x4000).hit);
+    EXPECT_TRUE(tlb.lookup(0x4fff).hit);
+    EXPECT_FALSE(tlb.lookup(0x5000).hit);
+}
+
+TEST(Tlb, SuperpageEntryCoversSuperpage)
+{
+    Tlb tlb(TlbConfig{});
+    tlb.fill(0x40000000, PageSize::Page2M);
+    EXPECT_TRUE(tlb.lookup(0x40000000).hit);
+    EXPECT_TRUE(tlb.lookup(0x40000000 + kPage2MBytes - 1).hit);
+    EXPECT_FALSE(tlb.lookup(0x40000000 + kPage2MBytes).hit);
+    EXPECT_EQ(tlb.lookup(0x40000000).size, PageSize::Page2M);
+}
+
+TEST(Tlb, OneGigEntries)
+{
+    Tlb tlb(TlbConfig{});
+    tlb.fill(0x80000000ull, PageSize::Page1G);
+    EXPECT_TRUE(tlb.lookup(0x80000000ull + 12345).hit);
+    EXPECT_EQ(tlb.lookup(0x80000000ull).size, PageSize::Page1G);
+}
+
+TEST(Tlb, EvictedL1EntryStillHitsInL2)
+{
+    TlbConfig cfg;
+    cfg.l1Entries4K = 4;
+    cfg.l1Assoc4K = 4; // one set
+    cfg.l2Entries = 64;
+    cfg.l2Assoc = 8;
+    Tlb tlb(cfg);
+    // Fill 5 pages: the first falls out of the 4-entry L1.
+    for (Addr page = 0; page < 5; ++page)
+        tlb.fill(page * kPageBytes, PageSize::Page4K);
+    const std::uint64_t l2_before = tlb.l2Hits();
+    EXPECT_TRUE(tlb.lookup(0).hit);
+    EXPECT_EQ(tlb.l2Hits(), l2_before + 1);
+}
+
+TEST(Tlb, OneGigEntriesBypassL2)
+{
+    TlbConfig cfg;
+    cfg.l1Entries1G = 1;
+    cfg.l1Assoc1G = 1;
+    Tlb tlb(cfg);
+    tlb.fill(0x0ull, PageSize::Page1G);
+    tlb.fill(1ull << 30, PageSize::Page1G); // evicts the first
+    // No 1G entries in the L2 on real parts: the first page misses.
+    EXPECT_FALSE(tlb.lookup(0x0).hit);
+}
+
+TEST(Tlb, MissRateTracksLookups)
+{
+    Tlb tlb(TlbConfig{});
+    tlb.lookup(0x1000);
+    tlb.fill(0x1000, PageSize::Page4K);
+    tlb.lookup(0x1000);
+    EXPECT_EQ(tlb.lookups(), 2u);
+    EXPECT_DOUBLE_EQ(tlb.missRate(), 0.5);
+}
+
+TEST(Tlb, FlushDropsEverything)
+{
+    Tlb tlb(TlbConfig{});
+    tlb.fill(0x1000, PageSize::Page4K);
+    tlb.fill(0x40000000, PageSize::Page2M);
+    tlb.flush();
+    EXPECT_FALSE(tlb.lookup(0x1000).hit);
+    EXPECT_FALSE(tlb.lookup(0x40000000).hit);
+}
+
+TEST(Tlb, DistinctSizesDoNotAlias)
+{
+    Tlb tlb(TlbConfig{});
+    // A 4K fill at some address must not create a phantom 2M hit for
+    // the surrounding 2M region.
+    tlb.fill(0x200000, PageSize::Page4K);
+    EXPECT_FALSE(tlb.lookup(0x200000 + 8192).hit);
+}
+
+TEST(Tlb, ReportHasRates)
+{
+    Tlb tlb(TlbConfig{});
+    tlb.lookup(0x1000);
+    stats::Report report;
+    tlb.report(report);
+    EXPECT_TRUE(report.has("miss_rate"));
+    EXPECT_EQ(report.get("misses"), 1.0);
+}
+
+class TlbChurnProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TlbChurnProperty, CapacityBoundsHitRate)
+{
+    // Property: with N distinct hot pages and capacity >= N, everything
+    // hits after warmup; with capacity << N under LRU churn (sequential
+    // sweep), reuse distance exceeds capacity and most lookups miss.
+    const unsigned pages = GetParam();
+    TlbConfig cfg;
+    Tlb tlb(cfg);
+    for (unsigned round = 0; round < 4; ++round) {
+        for (unsigned p = 0; p < pages; ++p)
+            if (!tlb.lookup(p * kPageBytes).hit)
+                tlb.fill(p * kPageBytes, PageSize::Page4K);
+    }
+    const double rate = tlb.missRate();
+    const unsigned capacity = cfg.l2Entries;
+    if (pages <= cfg.l1Entries4K) {
+        EXPECT_LT(rate, 0.3) << pages;
+    } else if (pages > capacity) {
+        EXPECT_GT(rate, 0.7) << pages;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TlbChurnProperty,
+                         ::testing::Values(8u, 32u, 64u, 2048u, 8192u));
+
+} // namespace
+} // namespace tempo

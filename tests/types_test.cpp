@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+
+namespace tempo {
+namespace {
+
+TEST(Types, PageBytes)
+{
+    EXPECT_EQ(pageBytes(PageSize::Page4K), 4096u);
+    EXPECT_EQ(pageBytes(PageSize::Page2M), 2ull << 20);
+    EXPECT_EQ(pageBytes(PageSize::Page1G), 1ull << 30);
+}
+
+TEST(Types, LeafLevelPerSize)
+{
+    EXPECT_EQ(leafLevel(PageSize::Page4K), 1);
+    EXPECT_EQ(leafLevel(PageSize::Page2M), 2);
+    EXPECT_EQ(leafLevel(PageSize::Page1G), 3);
+}
+
+TEST(Types, PageSizeNames)
+{
+    EXPECT_STREQ(pageSizeName(PageSize::Page4K), "4KB");
+    EXPECT_STREQ(pageSizeName(PageSize::Page2M), "2MB");
+    EXPECT_STREQ(pageSizeName(PageSize::Page1G), "1GB");
+}
+
+TEST(Types, AlignDown)
+{
+    EXPECT_EQ(alignDown(0x1234, 0x1000), 0x1000u);
+    EXPECT_EQ(alignDown(0x1000, 0x1000), 0x1000u);
+    EXPECT_EQ(alignDown(0xfff, 0x1000), 0u);
+}
+
+TEST(Types, AlignUp)
+{
+    EXPECT_EQ(alignUp(0x1234, 0x1000), 0x2000u);
+    EXPECT_EQ(alignUp(0x1000, 0x1000), 0x1000u);
+    EXPECT_EQ(alignUp(1, 0x1000), 0x1000u);
+    EXPECT_EQ(alignUp(0, 0x1000), 0u);
+}
+
+TEST(Types, LineAddr)
+{
+    EXPECT_EQ(lineAddr(0), 0u);
+    EXPECT_EQ(lineAddr(63), 0u);
+    EXPECT_EQ(lineAddr(64), 64u);
+    EXPECT_EQ(lineAddr(0x12345), 0x12340u);
+}
+
+TEST(Types, LineInPage)
+{
+    EXPECT_EQ(lineInPage(0), 0u);
+    EXPECT_EQ(lineInPage(63), 0u);
+    EXPECT_EQ(lineInPage(64), 1u);
+    EXPECT_EQ(lineInPage(4095), 63u);
+    // The replay's line index is page-relative: the paper's walker
+    // appends exactly these 6 bits for 4KB pages.
+    EXPECT_EQ(lineInPage(0x2001), 0u);
+    EXPECT_EQ(lineInPage(0x2041), 1u);
+}
+
+TEST(Types, Vpn4K)
+{
+    EXPECT_EQ(vpn4K(0), 0u);
+    EXPECT_EQ(vpn4K(4095), 0u);
+    EXPECT_EQ(vpn4K(4096), 1u);
+}
+
+TEST(Types, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(2), 1u);
+    EXPECT_EQ(log2Exact(64), 6u);
+    EXPECT_EQ(log2Exact(1ull << 40), 40u);
+}
+
+TEST(Types, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_TRUE(isPow2(1ull << 33));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(6));
+}
+
+class LineInPageProperty : public ::testing::TestWithParam<Addr>
+{
+};
+
+TEST_P(LineInPageProperty, ConsistentWithArithmetic)
+{
+    const Addr addr = GetParam();
+    EXPECT_EQ(lineInPage(addr),
+              (addr % kPageBytes) / kLineBytes);
+    EXPECT_LT(lineInPage(addr), kPageBytes / kLineBytes);
+    EXPECT_LE(lineAddr(addr), addr);
+    EXPECT_LT(addr - lineAddr(addr), kLineBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LineInPageProperty,
+                         ::testing::Values(0ull, 1ull, 4095ull, 4096ull,
+                                           0xdeadbeefull,
+                                           0x123456789abull,
+                                           ~Addr{0} - 63));
+
+} // namespace
+} // namespace tempo

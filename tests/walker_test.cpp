@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "vm/walker.hh"
+
+namespace tempo {
+namespace {
+
+struct WalkerFixture : public ::testing::Test {
+    OsMemory os{OsMemoryConfig{}};
+    PageTable table{os};
+    MmuCache mmu{MmuCacheConfig{}};
+    Walker walker{table, mmu};
+
+    void
+    map4K(Addr vaddr)
+    {
+        table.map(alignDown(vaddr, kPageBytes), PageSize::Page4K,
+                  os.allocFrame(PageSize::Page4K));
+    }
+};
+
+TEST_F(WalkerFixture, ColdWalkFetchesAllFourLevels)
+{
+    map4K(0x1234000);
+    const WalkPlan plan = walker.plan(0x1234000);
+    ASSERT_TRUE(plan.xlate.valid);
+    EXPECT_EQ(plan.fetches.size(), 4u);
+}
+
+TEST_F(WalkerFixture, SecondWalkSkipsCachedLevels)
+{
+    map4K(0x1234000);
+    const WalkPlan first = walker.plan(0x1234000);
+    walker.finish(0x1234000, first);
+    // The L4/L3/L2 entries are now in the MMU caches; only the leaf
+    // remains.
+    const WalkPlan second = walker.plan(0x1234000);
+    ASSERT_EQ(second.fetches.size(), 1u);
+    EXPECT_EQ(second.fetches[0].level, 1);
+}
+
+TEST_F(WalkerFixture, LeafIsAlwaysFetched)
+{
+    // The TLB caches leaf translations, not the MMU caches: every walk
+    // must fetch at least the leaf PTE.
+    map4K(0x1234000);
+    for (int i = 0; i < 5; ++i) {
+        const WalkPlan plan = walker.plan(0x1234000);
+        EXPECT_GE(plan.fetches.size(), 1u);
+        EXPECT_EQ(plan.fetches.back().level, 1);
+        walker.finish(0x1234000, plan);
+    }
+}
+
+TEST_F(WalkerFixture, NeighbouringPagesShareUpperLevels)
+{
+    map4K(0x1234000);
+    map4K(0x1235000);
+    const WalkPlan first = walker.plan(0x1234000);
+    walker.finish(0x1234000, first);
+    // Same 2MB region: all upper levels cached.
+    const WalkPlan second = walker.plan(0x1235000);
+    EXPECT_EQ(second.fetches.size(), 1u);
+}
+
+TEST_F(WalkerFixture, DistantPageSharesNothing)
+{
+    map4K(0x1234000);
+    const WalkPlan first = walker.plan(0x1234000);
+    walker.finish(0x1234000, first);
+    const Addr far = Addr{7} << 39;
+    table.map(far, PageSize::Page4K, os.allocFrame(PageSize::Page4K));
+    const WalkPlan second = walker.plan(far);
+    EXPECT_EQ(second.fetches.size(), 4u);
+}
+
+TEST_F(WalkerFixture, TwoMegWalkEndsAtLevel2)
+{
+    table.map(0x40000000, PageSize::Page2M,
+              os.allocFrame(PageSize::Page2M));
+    const WalkPlan plan = walker.plan(0x40000000);
+    ASSERT_TRUE(plan.xlate.valid);
+    EXPECT_EQ(plan.fetches.back().level, 2);
+    EXPECT_EQ(plan.xlate.size, PageSize::Page2M);
+}
+
+TEST_F(WalkerFixture, TwoMegLeafNotCachedInMmu)
+{
+    table.map(0x40000000, PageSize::Page2M,
+              os.allocFrame(PageSize::Page2M));
+    const WalkPlan first = walker.plan(0x40000000);
+    walker.finish(0x40000000, first);
+    // L4/L3 cached, but the L2 *leaf* must not be: the next walk still
+    // fetches it.
+    const WalkPlan second = walker.plan(0x40000000);
+    ASSERT_EQ(second.fetches.size(), 1u);
+    EXPECT_EQ(second.fetches[0].level, 2);
+}
+
+TEST_F(WalkerFixture, FaultingWalkHasInvalidTranslation)
+{
+    map4K(0x0);
+    const WalkPlan plan = walker.plan(Addr{1} << 30);
+    EXPECT_FALSE(plan.xlate.valid);
+    EXPECT_GE(plan.fetches.size(), 1u);
+}
+
+TEST_F(WalkerFixture, FinishDoesNotCacheFaultingLevels)
+{
+    map4K(0x0);
+    const Addr bad = Addr{1} << 30; // L4 present, L3 absent
+    const WalkPlan plan = walker.plan(bad);
+    walker.finish(bad, plan);
+    // Only the L4 entry (fetched and present) may be cached; a re-plan
+    // still needs the L3 fetch.
+    const WalkPlan replan = walker.plan(bad);
+    EXPECT_FALSE(replan.xlate.valid);
+    EXPECT_EQ(replan.fetches.back().level, 3);
+}
+
+TEST_F(WalkerFixture, StatsCountWalksAndRefs)
+{
+    map4K(0x1234000);
+    const WalkPlan plan = walker.plan(0x1234000);
+    walker.finish(0x1234000, plan);
+    walker.plan(0x1234000);
+    EXPECT_EQ(walker.walks(), 2u);
+    EXPECT_EQ(walker.ptRefsIssued(), 5u);  // 4 + 1
+    EXPECT_EQ(walker.ptRefsSkipped(), 3u); // second walk skips 3
+}
+
+} // namespace
+} // namespace tempo

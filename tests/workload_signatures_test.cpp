@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Signature tests for the workload generators: the distributional
+ * properties DESIGN.md says each generator must reproduce (these are
+ * what make the TEMPO results meaningful, so they are pinned here —
+ * a refactor that silently changes a generator's locality would
+ * otherwise invalidate EXPERIMENTS.md without failing any test).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/workload.hh"
+
+namespace tempo {
+namespace {
+
+struct Signature {
+    double writeRatio = 0;
+    double indirectRatio = 0;
+    std::size_t distinctPages = 0;
+    /** Fraction of refs whose page was seen in the prior 64 refs —
+     * a cheap short-range locality proxy. */
+    double shortReuse = 0;
+};
+
+Signature
+measure(const std::string &name, int refs = 40000)
+{
+    auto workload = makeWorkload(name, 11);
+    Signature sig;
+    std::set<Addr> pages;
+    std::vector<Addr> window;
+    int writes = 0, indirect = 0, reuse = 0;
+    for (int i = 0; i < refs; ++i) {
+        const MemRef ref = workload->next();
+        writes += ref.isWrite;
+        indirect += ref.indirect;
+        const Addr vpn = vpn4K(ref.vaddr);
+        pages.insert(vpn);
+        for (const Addr recent : window) {
+            if (recent == vpn) {
+                ++reuse;
+                break;
+            }
+        }
+        window.push_back(vpn);
+        if (window.size() > 64)
+            window.erase(window.begin());
+    }
+    sig.writeRatio = static_cast<double>(writes) / refs;
+    sig.indirectRatio = static_cast<double>(indirect) / refs;
+    sig.distinctPages = pages.size();
+    sig.shortReuse = static_cast<double>(reuse) / refs;
+    return sig;
+}
+
+TEST(WorkloadSignature, XsbenchIsTheColdest)
+{
+    // xsbench: the paper's worst-locality workload — it must touch
+    // more distinct pages than anything else in the suite.
+    const std::size_t xs = measure("xsbench").distinctPages;
+    for (const std::string &other : bigDataWorkloadNames()) {
+        if (other == "xsbench" || other == "illustris")
+            continue;
+        EXPECT_GT(xs, measure(other).distinctPages) << other;
+    }
+}
+
+TEST(WorkloadSignature, IndirectStreamsWhereThePaperNeedsThem)
+{
+    // spmv/xsbench/graph500/sgms feed the IMP study (Fig. 12); the
+    // pointer-chasers do not expose A[B[i]] patterns.
+    EXPECT_GT(measure("spmv").indirectRatio, 0.2);
+    EXPECT_GT(measure("xsbench").indirectRatio, 0.4);
+    EXPECT_GT(measure("graph500").indirectRatio, 0.2);
+    EXPECT_EQ(measure("mcf").indirectRatio, 0.0);
+    EXPECT_EQ(measure("illustris").indirectRatio, 0.0);
+}
+
+TEST(WorkloadSignature, CannealWritesItsSwaps)
+{
+    // Two of every four swap-phase refs are writes.
+    const Signature sig = measure("canneal");
+    EXPECT_GT(sig.writeRatio, 0.25);
+    EXPECT_LT(sig.writeRatio, 0.55);
+}
+
+TEST(WorkloadSignature, LshNeverWrites)
+{
+    EXPECT_EQ(measure("lsh").writeRatio, 0.0);
+}
+
+TEST(WorkloadSignature, SmallWorkloadsHaveStrongLocality)
+{
+    // The Fig. 11R family must re-touch recent pages far more often
+    // than the big-data suite.
+    const double small = measure("gobmk.small").shortReuse;
+    const double big = measure("illustris").shortReuse;
+    EXPECT_GT(small, 0.5);
+    EXPECT_LT(big, 0.35);
+}
+
+TEST(WorkloadSignature, SequentialSweepsReusePages)
+{
+    // sgms's row sweep revisits its cursor page between off-diagonal
+    // gathers: short-range reuse stays well above zero despite the
+    // huge footprint, but far below the small-footprint family.
+    const double reuse = measure("sgms").shortReuse;
+    EXPECT_GT(reuse, 0.15);
+    EXPECT_LT(reuse, 0.5);
+}
+
+TEST(WorkloadSignature, BigDataTouchGrowthIsUnbounded)
+{
+    // Doubling the trace must keep discovering new pages (no workload
+    // quietly saturates a small footprint).
+    for (const std::string &name : bigDataWorkloadNames()) {
+        const std::size_t at40k = measure(name, 40000).distinctPages;
+        const std::size_t at80k = measure(name, 80000).distinctPages;
+        EXPECT_GT(at80k, at40k * 5 / 4) << name;
+    }
+}
+
+TEST(WorkloadSignature, SmallWorkloadsSaturateTheirFootprints)
+{
+    // swaptions at 24MB: by 80k refs nearly every page is touched, so
+    // growth flattens (in contrast to the big-data suite).
+    const std::size_t at40k =
+        measure("swaptions.small", 40000).distinctPages;
+    const std::size_t at80k =
+        measure("swaptions.small", 80000).distinctPages;
+    EXPECT_LT(at80k, at40k * 2);
+}
+
+} // namespace
+} // namespace tempo

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * tempo_sim: the command-line simulator driver.
+ *
+ *   tempo_sim --workload xsbench --refs 500000 --compare
+ *   tempo_sim --workload graph500 --tempo --sched bliss --full-report
+ *   tempo_sim --workload spmv --trace-out spmv.trace --refs 1000000
+ *   tempo_sim --trace-in spmv.trace --compare
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+#include "cli/options.hh"
+#include "core/tempo_system.hh"
+#include "trace/trace.hh"
+
+namespace {
+
+using namespace tempo;
+
+std::unique_ptr<Workload>
+buildWorkload(const cli::Options &options, std::uint64_t seed)
+{
+    if (!options.traceIn.empty())
+        return std::make_unique<TraceWorkload>(
+            readTrace(options.traceIn));
+    return makeWorkload(options.workload, seed);
+}
+
+void
+printSummary(const char *label, const RunResult &result)
+{
+    std::printf("%s:\n", label);
+    std::printf("  runtime              : %llu cycles\n",
+                static_cast<unsigned long long>(result.runtime));
+    std::printf("  energy               : %.1f\n",
+                result.energy.total());
+    std::printf("  TLB miss rate        : %.2f%%\n",
+                100.0 * result.report.get("tlb.miss_rate"));
+    std::printf("  DRAM refs PTW/replay : %.1f%% / %.1f%%\n",
+                100.0 * result.fracDramPtw(),
+                100.0 * result.fracDramReplay());
+    std::printf("  superpage coverage   : %.1f%%\n",
+                100.0 * result.superpageCoverage);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tempo::cli;
+
+    Options options;
+    try {
+        options = parse({argv + 1, argv + argc});
+    } catch (const std::invalid_argument &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 2;
+    }
+    if (options.help) {
+        std::fputs(usage().c_str(), stdout);
+        return 0;
+    }
+
+    const SystemConfig cfg = toConfig(options);
+
+    if (!options.traceOut.empty()) {
+        auto workload = buildWorkload(options, cfg.seed);
+        const Trace trace = recordTrace(*workload, options.refs);
+        writeTrace(trace, options.traceOut);
+        std::printf("recorded %llu refs of %s to %s\n",
+                    static_cast<unsigned long long>(trace.refs.size()),
+                    trace.name.c_str(), options.traceOut.c_str());
+        return 0;
+    }
+
+    TempoSystem system(cfg, buildWorkload(options, cfg.seed));
+    const RunResult result = system.run(options.refs);
+    printSummary(cfg.mc.tempoEnabled ? "TEMPO" : "baseline", result);
+
+    if (options.compare) {
+        SystemConfig tempo_cfg = cfg;
+        tempo_cfg.withTempo(true);
+        TempoSystem tempo_system(tempo_cfg,
+                                 buildWorkload(options, tempo_cfg.seed));
+        const RunResult with_tempo = tempo_system.run(options.refs);
+        printSummary("TEMPO", with_tempo);
+        std::printf("\nTEMPO improvement: performance %+.1f%%, "
+                    "energy %+.1f%%\n",
+                    100.0 * with_tempo.speedupOver(result),
+                    100.0 * with_tempo.energySavingOver(result));
+    }
+
+    if (options.fullReport) {
+        std::printf("\nfull report:\n");
+        result.report.printText(std::cout);
+    }
+    if (!options.csvPath.empty()) {
+        std::ofstream csv(options.csvPath);
+        if (!csv) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         options.csvPath.c_str());
+            return 1;
+        }
+        result.report.printCsv(csv);
+        std::printf("wrote %s\n", options.csvPath.c_str());
+    }
+    return 0;
+}

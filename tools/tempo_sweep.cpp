@@ -1,0 +1,171 @@
+/**
+ * @file
+ * tempo_sweep: sweep one configuration key (any key the INI config
+ * files accept) across a list of values and print a CSV of runtime,
+ * energy, and the headline statistics — optionally with a TEMPO
+ * comparison column per point.
+ *
+ *   tempo_sweep --workload xsbench --key dram.row_policy \
+ *               --values open,closed,adaptive --compare
+ *   tempo_sweep --workload mcf --key mc.pt_row_hold --values 0,5,10,15 \
+ *               --tempo
+ *   tempo_sweep --workload graph500 --key vm.frag \
+ *               --values 0,0.25,0.5,0.75 --compare --refs 200000
+ *
+ * The key syntax is "<section>.<key>" from src/cli/config_file.hh.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cli/config_file.hh"
+#include "core/tempo_system.hh"
+
+namespace {
+
+using namespace tempo;
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (begin <= s.size()) {
+        const std::size_t comma = s.find(',', begin);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(begin));
+            break;
+        }
+        out.push_back(s.substr(begin, comma - begin));
+        begin = comma + 1;
+    }
+    return out;
+}
+
+struct SweepArgs {
+    std::string workload = "xsbench";
+    std::string key;
+    std::vector<std::string> values;
+    std::uint64_t refs = 150000;
+    std::uint64_t warmup = 0;
+    bool tempo = false;
+    bool compare = false;
+};
+
+[[noreturn]] void
+usage(int status)
+{
+    std::fputs(
+        "usage: tempo_sweep --key SECTION.KEY --values V1,V2,...\n"
+        "  [--workload NAME] [--refs N] [--warmup N]\n"
+        "  [--tempo | --compare]\n"
+        "Keys are the INI config keys (src/cli/config_file.hh),\n"
+        "e.g. dram.row_policy, mc.pt_row_hold, vm.frag.\n",
+        status == 0 ? stdout : stderr);
+    std::exit(status);
+}
+
+SweepArgs
+parseArgs(int argc, char **argv)
+{
+    SweepArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(2);
+            return argv[++i];
+        };
+        if (arg == "--workload")
+            args.workload = next();
+        else if (arg == "--key")
+            args.key = next();
+        else if (arg == "--values")
+            args.values = splitCommas(next());
+        else if (arg == "--refs")
+            args.refs = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--warmup")
+            args.warmup = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--tempo")
+            args.tempo = true;
+        else if (arg == "--compare")
+            args.compare = true;
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else
+            usage(2);
+    }
+    if (args.key.empty() || args.values.empty())
+        usage(2);
+    const std::size_t dot = args.key.find('.');
+    if (dot == std::string::npos || dot == 0
+        || dot + 1 == args.key.size()) {
+        std::fprintf(stderr, "error: --key must be SECTION.KEY\n");
+        std::exit(2);
+    }
+    return args;
+}
+
+SystemConfig
+configFor(const SweepArgs &args, const std::string &value, bool tempo)
+{
+    SystemConfig cfg = SystemConfig::skylakeScaled();
+    cfg.withTempo(tempo);
+    const std::size_t dot = args.key.find('.');
+    const std::string ini = "[" + args.key.substr(0, dot) + "]\n"
+        + args.key.substr(dot + 1) + " = " + value + "\n";
+    cli::applyConfigText(ini, cfg);
+    return cfg;
+}
+
+RunResult
+runPoint(const SweepArgs &args, const SystemConfig &cfg)
+{
+    TempoSystem system(cfg, makeWorkload(args.workload, cfg.seed));
+    return system.run(args.refs, args.warmup);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const SweepArgs args = parseArgs(argc, argv);
+
+    std::printf("%s,runtime,energy,tlb_miss_rate,dram_ptw_frac,"
+                "superpage_coverage%s\n",
+                args.key.c_str(),
+                args.compare ? ",tempo_runtime,tempo_perf_gain" : "");
+
+    for (const std::string &value : args.values) {
+        try {
+            const SystemConfig base_cfg =
+                configFor(args, value, args.tempo);
+            const RunResult base = runPoint(args, base_cfg);
+            std::printf("%s,%llu,%.1f,%.4f,%.4f,%.4f", value.c_str(),
+                        static_cast<unsigned long long>(base.runtime),
+                        base.energy.total(),
+                        base.report.get("tlb.miss_rate"),
+                        base.fracDramPtw(), base.superpageCoverage);
+            if (args.compare) {
+                const SystemConfig tempo_cfg =
+                    configFor(args, value, true);
+                const RunResult with_tempo =
+                    runPoint(args, tempo_cfg);
+                std::printf(",%llu,%.4f",
+                            static_cast<unsigned long long>(
+                                with_tempo.runtime),
+                            with_tempo.speedupOver(base));
+            }
+            std::printf("\n");
+        } catch (const std::invalid_argument &error) {
+            std::fprintf(stderr, "error at value '%s': %s\n",
+                         value.c_str(), error.what());
+            return 2;
+        }
+    }
+    return 0;
+}
