@@ -53,23 +53,40 @@ main()
 
     const char *variants[] = {"full", "row-only", "no-grouping",
                               "no-holds", "slow-engine", "drop-all"};
+    const std::size_t num_variants = std::size(variants);
 
     std::printf("%-10s", "workload");
     for (const char *v : variants)
         std::printf(" %12s", v);
     std::printf("\n");
 
-    for (const std::string &name : bigDataWorkloadNames()) {
-        const SystemConfig base_cfg = SystemConfig::skylakeScaled();
-        const RunResult base = runWorkload(base_cfg, name, refs());
+    const std::vector<std::string> &names =
+        tempo::bigDataWorkloadNames();
+    const SystemConfig base_cfg = SystemConfig::skylakeScaled();
+    std::vector<tempo::ExperimentPoint> points;
+    for (const std::string &name : names) {
+        points.push_back(tempo::bench::point(base_cfg, name, refs()));
+        for (const char *v : variants)
+            points.push_back(
+                tempo::bench::point(variant(v), name, refs()));
+    }
+    const std::vector<tempo::RunResult> results =
+        runAll(std::move(points));
+
+    JsonRecorder json("ablation_tempo");
+    std::size_t idx = 0;
+    for (const std::string &name : names) {
+        const tempo::RunResult &base = results[idx++];
+        json.add(name, {{"variant", "baseline"}}, base);
         std::printf("%-10s", name.c_str());
-        for (const char *v : variants) {
-            const RunResult result =
-                runWorkload(variant(v), name, refs());
+        for (std::size_t v = 0; v < num_variants; ++v) {
+            const tempo::RunResult &result = results[idx++];
             std::printf(" %11.1f%%", pct(result.speedupOver(base)));
+            json.add(name, {{"variant", variants[v]}}, result);
         }
         std::printf("\n");
     }
+    json.write(refs());
     footer();
     return 0;
 }

@@ -7,6 +7,12 @@
  * Trace length is controlled by TEMPO_BENCH_REFS (default 300000) and
  * TEMPO_BENCH_REFS_MP (per-app references in multiprogrammed runs,
  * default 60000) so CI can run quick passes and full runs stay cheap.
+ *
+ * Simulation points run concurrently on the experiment engine
+ * (TEMPO_JOBS env var caps the worker threads; default all cores) and
+ * every bench records its points into a machine-readable
+ * BENCH_<name>.json file (tempo-bench-1 schema, see src/stats/json.hh)
+ * in the working directory — or $TEMPO_BENCH_JSON_DIR when set.
  */
 
 #ifndef TEMPO_BENCH_BENCH_COMMON_HH
@@ -15,8 +21,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/experiment.hh"
 #include "core/multi_system.hh"
 #include "core/tempo_system.hh"
 #include "workloads/workload.hh"
@@ -84,6 +92,112 @@ runPair(const SystemConfig &base_cfg, const std::string &workload,
     return Pair{runWorkload(base_cfg, workload, num_refs),
                 runWorkload(tempo_cfg, workload, num_refs)};
 }
+
+/** One single-app point for the parallel batch helpers below. */
+inline ExperimentPoint
+point(const SystemConfig &cfg, const std::string &workload,
+      std::uint64_t num_refs, std::uint64_t warmup = 0)
+{
+    ExperimentPoint p;
+    p.workload = workload;
+    p.config = cfg;
+    p.refs = num_refs;
+    p.warmup = warmup;
+    return p;
+}
+
+/** Run all @p points concurrently; results come back in point order,
+ * bit-identical to a serial run. */
+inline std::vector<RunResult>
+runAll(std::vector<ExperimentPoint> points)
+{
+    return runExperiments(points, 0);
+}
+
+/**
+ * Parallel (baseline, TEMPO) pairs for a workload list under one base
+ * config: all 2*N runs execute concurrently, pairs return in name
+ * order.
+ */
+inline std::vector<Pair>
+runPairs(const SystemConfig &base_cfg,
+         const std::vector<std::string> &names, std::uint64_t num_refs)
+{
+    SystemConfig tempo_cfg = base_cfg;
+    tempo_cfg.withTempo(true);
+    std::vector<ExperimentPoint> points;
+    for (const std::string &name : names) {
+        points.push_back(point(base_cfg, name, num_refs));
+        points.push_back(point(tempo_cfg, name, num_refs));
+    }
+    const std::vector<RunResult> results = runAll(std::move(points));
+    std::vector<Pair> pairs;
+    pairs.reserve(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        pairs.push_back(Pair{results[2 * i], results[2 * i + 1]});
+    return pairs;
+}
+
+/**
+ * Collects every simulation point a bench produces and writes them as
+ * BENCH_<name>.json (tempo-bench-1 schema) when write() is called.
+ */
+class JsonRecorder
+{
+  public:
+    explicit JsonRecorder(std::string bench)
+        : bench_(std::move(bench))
+    {
+    }
+
+    /** Record one finished single-app point. */
+    void
+    add(const std::string &workload,
+        std::vector<std::pair<std::string, std::string>> overrides,
+        const RunResult &result)
+    {
+        points_.push_back(
+            toBenchPoint(workload, std::move(overrides), result));
+    }
+
+    /** Record a point measured by derived metrics only (e.g. the
+     * fairness studies, whose unit is a mix, not a single run). */
+    void
+    addMetrics(const std::string &label,
+               std::vector<std::pair<std::string, std::string>> overrides,
+               std::vector<std::pair<std::string, double>> counters,
+               std::uint64_t runtime_cycles = 0)
+    {
+        stats::BenchPoint point;
+        point.workload = label;
+        point.config = std::move(overrides);
+        point.runtimeCycles = runtime_cycles;
+        point.counters = std::move(counters);
+        points_.push_back(std::move(point));
+    }
+
+    /** Write BENCH_<bench>.json; prints the path on success. */
+    void
+    write(std::uint64_t num_refs) const
+    {
+        std::string dir;
+        if (const char *env = std::getenv("TEMPO_BENCH_JSON_DIR"))
+            dir = std::string(env) + "/";
+        const std::string path = dir + "BENCH_" + bench_ + ".json";
+        try {
+            stats::writeBenchJson(path, bench_, num_refs,
+                                  SystemConfig::skylakeScaled().seed,
+                                  points_);
+            std::printf("wrote %s\n", path.c_str());
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+        }
+    }
+
+  private:
+    std::string bench_;
+    std::vector<stats::BenchPoint> points_;
+};
 
 /**
  * Scale the shared machine for an N-app multiprogrammed run: the LLC

@@ -21,16 +21,25 @@ main()
     std::printf("%-10s %14s %17s %12s %12s\n", "workload",
                 "DRAM-PTW-Acc%", "DRAM-Replay-Acc%", "DRAM-Other%",
                 "non-DRAM%");
-    for (const std::string &name : bigDataWorkloadNames()) {
-        const SystemConfig cfg = SystemConfig::skylakeScaled();
-        const RunResult result = runWorkload(cfg, name, refs());
+    const std::vector<std::string> &names = bigDataWorkloadNames();
+    const SystemConfig cfg = SystemConfig::skylakeScaled();
+    std::vector<ExperimentPoint> points;
+    for (const std::string &name : names)
+        points.push_back(point(cfg, name, refs()));
+    const std::vector<RunResult> results = runAll(std::move(points));
+
+    JsonRecorder json("fig01_runtime_breakdown");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const RunResult &result = results[i];
         const double ptw = result.fracRuntimePtwDram();
         const double replay = result.fracRuntimeReplayDram();
         const double other = result.fracRuntimeOtherDram();
-        std::printf("%-10s %14.1f %17.1f %12.1f %12.1f\n", name.c_str(),
-                    pct(ptw), pct(replay), pct(other),
+        std::printf("%-10s %14.1f %17.1f %12.1f %12.1f\n",
+                    names[i].c_str(), pct(ptw), pct(replay), pct(other),
                     pct(1.0 - ptw - replay - other));
+        json.add(names[i], {{"mc.tempo", "false"}}, result);
     }
+    json.write(refs());
     footer();
     return 0;
 }

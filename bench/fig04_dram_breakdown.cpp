@@ -24,19 +24,28 @@ main()
     std::printf("%-10s %10s %12s %10s | %10s %15s\n", "workload",
                 "PTW%", "Replay%", "Other%", "leaf-PT%",
                 "replay-follows%");
-    for (const std::string &name : bigDataWorkloadNames()) {
-        const SystemConfig cfg = SystemConfig::skylakeScaled();
-        const RunResult result = runWorkload(cfg, name, refs());
+    const std::vector<std::string> &names = bigDataWorkloadNames();
+    const SystemConfig cfg = SystemConfig::skylakeScaled();
+    std::vector<ExperimentPoint> points;
+    for (const std::string &name : names)
+        points.push_back(point(cfg, name, refs()));
+    const std::vector<RunResult> results = runAll(std::move(points));
+
+    JsonRecorder json("fig04_dram_breakdown");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const RunResult &result = results[i];
         const CoreStats &core = result.core;
         std::printf("%-10s %10.1f %12.1f %10.1f | %10.1f %15.1f\n",
-                    name.c_str(), pct(result.fracDramPtw()),
+                    names[i].c_str(), pct(result.fracDramPtw()),
                     pct(result.fracDramReplay()),
                     pct(result.fracDramOther()),
                     pct(stats::ratio(core.leafPtDramAccesses,
                                      core.ptDramAccesses)),
                     pct(stats::ratio(core.replayDramAfterDramWalk,
                                      core.replayAfterDramWalk)));
+        json.add(names[i], {{"mc.tempo", "false"}}, result);
     }
+    json.write(refs());
     footer();
     return 0;
 }

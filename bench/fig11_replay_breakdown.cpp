@@ -22,24 +22,35 @@ main()
 
     std::printf("%-10s %8s %18s %10s %10s\n", "workload", "LLC%",
                 "rowbuf+overlap%", "unaided%", "L1/L2%");
-    for (const std::string &name : bigDataWorkloadNames()) {
-        SystemConfig cfg = SystemConfig::skylakeScaled();
-        cfg.withTempo(true);
-        const RunResult result = runWorkload(cfg, name, refs());
+    const std::vector<std::string> &names = bigDataWorkloadNames();
+    SystemConfig cfg = SystemConfig::skylakeScaled();
+    cfg.withTempo(true);
+    std::vector<ExperimentPoint> points;
+    for (const std::string &name : names)
+        points.push_back(point(cfg, name, refs()));
+    const std::vector<RunResult> results = runAll(std::move(points));
+
+    JsonRecorder json("fig11_replay_breakdown");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const RunResult &result = results[i];
         const CoreStats &core = result.core;
+        json.add(names[i], {{"mc.tempo", "true"}}, result);
         const double total =
             static_cast<double>(core.replayAfterDramWalk);
         if (total == 0) {
-            std::printf("%-10s (no eligible replays)\n", name.c_str());
+            std::printf("%-10s (no eligible replays)\n",
+                        names[i].c_str());
             continue;
         }
-        std::printf("%-10s %8.1f %18.1f %10.1f %10.1f\n", name.c_str(),
+        std::printf("%-10s %8.1f %18.1f %10.1f %10.1f\n",
+                    names[i].c_str(),
                     pct(core.replayLlcHits / total),
                     pct((core.replayRowHits + core.replayMerged)
                         / total),
                     pct(core.replayArray / total),
                     pct(core.replayPrivateHits / total));
     }
+    json.write(refs());
     footer();
     return 0;
 }

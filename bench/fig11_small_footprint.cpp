@@ -20,16 +20,22 @@ main()
     std::printf("%-18s %8s %8s %12s\n", "workload", "perf%", "energy%",
                 "TLB-miss%");
     bool any_harm = false;
-    for (const std::string &name : smallWorkloadNames()) {
-        const Pair pair =
-            runPair(SystemConfig::skylakeScaled(), name, refs());
+    const std::vector<std::string> &names = smallWorkloadNames();
+    const std::vector<Pair> pairs =
+        runPairs(SystemConfig::skylakeScaled(), names, refs());
+    JsonRecorder json("fig11_small_footprint");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const Pair &pair = pairs[i];
         const double perf = pair.tempo.speedupOver(pair.base);
         const double energy = pair.tempo.energySavingOver(pair.base);
         any_harm |= perf < -0.005 || energy < -0.005;
-        std::printf("%-18s %8.1f %8.1f %12.1f\n", name.c_str(),
+        std::printf("%-18s %8.1f %8.1f %12.1f\n", names[i].c_str(),
                     pct(perf), pct(energy),
                     pct(pair.base.report.get("tlb.miss_rate")));
+        json.add(names[i], {{"mc.tempo", "false"}}, pair.base);
+        json.add(names[i], {{"mc.tempo", "true"}}, pair.tempo);
     }
+    json.write(refs());
     std::printf("\n%s\n", any_harm
                               ? "WARNING: a workload was harmed"
                               : "no workload harmed (matches paper)");

@@ -29,15 +29,31 @@ main()
     std::printf("%-10s | %12s %12s %14s | %12s\n", "workload",
                 "TEMPO alone%", "TEMPO on IMP%", "IMP+TEMPO tot%",
                 "energy tot%");
-    for (const std::string &name : bigDataWorkloadNames()) {
-        const std::uint64_t n = refs();
+    const std::uint64_t n = refs();
+    const std::vector<std::string> &names = bigDataWorkloadNames();
 
-        const Pair plain =
-            runPair(SystemConfig::skylakeScaled(), name, n);
+    // Four points per workload: (plain, IMP) x (baseline, TEMPO).
+    const SystemConfig plain_cfg = SystemConfig::skylakeScaled();
+    SystemConfig plain_tempo_cfg = plain_cfg;
+    plain_tempo_cfg.withTempo(true);
+    SystemConfig imp_cfg = SystemConfig::skylakeScaled();
+    imp_cfg.withImp(true);
+    SystemConfig imp_tempo_cfg = imp_cfg;
+    imp_tempo_cfg.withTempo(true);
 
-        SystemConfig imp_cfg = SystemConfig::skylakeScaled();
-        imp_cfg.withImp(true);
-        const Pair with_imp = runPair(imp_cfg, name, n);
+    std::vector<ExperimentPoint> points;
+    for (const std::string &name : names) {
+        points.push_back(point(plain_cfg, name, n));
+        points.push_back(point(plain_tempo_cfg, name, n));
+        points.push_back(point(imp_cfg, name, n));
+        points.push_back(point(imp_tempo_cfg, name, n));
+    }
+    const std::vector<RunResult> results = runAll(std::move(points));
+
+    JsonRecorder json("fig12_imp_interaction");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const Pair plain{results[4 * i], results[4 * i + 1]};
+        const Pair with_imp{results[4 * i + 2], results[4 * i + 3]};
 
         // Combined improvement of the full IMP+TEMPO system over the
         // original no-prefetching baseline.
@@ -46,11 +62,20 @@ main()
             with_imp.tempo.energySavingOver(plain.base);
 
         std::printf("%-10s | %12.1f %12.1f %14.1f | %12.1f\n",
-                    name.c_str(),
+                    names[i].c_str(),
                     pct(plain.tempo.speedupOver(plain.base)),
                     pct(with_imp.tempo.speedupOver(with_imp.base)),
                     pct(combined), pct(combined_energy));
+        json.add(names[i], {{"imp.enabled", "false"},
+                            {"mc.tempo", "false"}}, plain.base);
+        json.add(names[i], {{"imp.enabled", "false"},
+                            {"mc.tempo", "true"}}, plain.tempo);
+        json.add(names[i], {{"imp.enabled", "true"},
+                            {"mc.tempo", "false"}}, with_imp.base);
+        json.add(names[i], {{"imp.enabled", "true"},
+                            {"mc.tempo", "true"}}, with_imp.tempo);
     }
+    json.write(n);
     footer();
     return 0;
 }

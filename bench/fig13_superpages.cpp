@@ -40,19 +40,43 @@ main()
         {"hugetlbfs-1G", PagePolicy::Hugetlbfs1G, 0.0},
     };
 
-    for (const std::string &name : bigDataWorkloadNames()) {
-        std::printf("%s:\n", name.c_str());
-        std::printf("  %-14s %12s %10s\n", "config", "coverage%",
-                    "benefit%");
+    const std::vector<std::string> &names = bigDataWorkloadNames();
+    const std::size_t num_configs = std::size(configs);
+
+    std::vector<ExperimentPoint> points;
+    for (const std::string &name : names) {
         for (const Config13 &config : configs) {
             SystemConfig cfg = SystemConfig::skylakeScaled();
             cfg.withPagePolicy(config.policy, config.frag);
-            const Pair pair = runPair(cfg, name, refs());
-            std::printf("  %-14s %12.1f %10.1f\n", config.label,
-                        pct(pair.base.superpageCoverage),
-                        pct(pair.tempo.speedupOver(pair.base)));
+            SystemConfig tempo_cfg = cfg;
+            tempo_cfg.withTempo(true);
+            points.push_back(point(cfg, name, refs()));
+            points.push_back(point(tempo_cfg, name, refs()));
         }
     }
+    const std::vector<RunResult> results = runAll(std::move(points));
+
+    JsonRecorder json("fig13_superpages");
+    std::size_t idx = 0;
+    for (const std::string &name : names) {
+        std::printf("%s:\n", name.c_str());
+        std::printf("  %-14s %12s %10s\n", "config", "coverage%",
+                    "benefit%");
+        for (std::size_t c = 0; c < num_configs; ++c, idx += 2) {
+            const Pair pair{results[idx], results[idx + 1]};
+            std::printf("  %-14s %12.1f %10.1f\n", configs[c].label,
+                        pct(pair.base.superpageCoverage),
+                        pct(pair.tempo.speedupOver(pair.base)));
+            const std::vector<std::pair<std::string, std::string>>
+                base_overrides = {{"vm.page_policy", configs[c].label},
+                                  {"mc.tempo", "false"}};
+            auto tempo_overrides = base_overrides;
+            tempo_overrides[1].second = "true";
+            json.add(name, base_overrides, pair.base);
+            json.add(name, tempo_overrides, pair.tempo);
+        }
+    }
+    json.write(refs());
     footer();
     return 0;
 }

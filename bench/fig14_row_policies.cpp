@@ -21,20 +21,44 @@ main()
 
     std::printf("%-10s %10s %10s %10s\n", "workload", "adaptive%",
                 "open%", "closed%");
-    for (const std::string &name : bigDataWorkloadNames()) {
-        double benefit[3];
-        int i = 0;
-        for (RowPolicyKind kind :
-             {RowPolicyKind::Adaptive, RowPolicyKind::Open,
-              RowPolicyKind::Closed}) {
+    const std::vector<std::string> &names = bigDataWorkloadNames();
+    const RowPolicyKind kinds[] = {RowPolicyKind::Adaptive,
+                                   RowPolicyKind::Open,
+                                   RowPolicyKind::Closed};
+
+    std::vector<ExperimentPoint> points;
+    for (const std::string &name : names) {
+        for (const RowPolicyKind kind : kinds) {
             SystemConfig cfg = SystemConfig::skylakeScaled();
             cfg.withRowPolicy(kind);
-            const Pair pair = runPair(cfg, name, refs());
-            benefit[i++] = pair.tempo.speedupOver(pair.base);
+            SystemConfig tempo_cfg = cfg;
+            tempo_cfg.withTempo(true);
+            points.push_back(point(cfg, name, refs()));
+            points.push_back(point(tempo_cfg, name, refs()));
+        }
+    }
+    const std::vector<RunResult> results = runAll(std::move(points));
+
+    JsonRecorder json("fig14_row_policies");
+    std::size_t idx = 0;
+    for (const std::string &name : names) {
+        double benefit[3];
+        for (int i = 0; i < 3; ++i, idx += 2) {
+            const Pair pair{results[idx], results[idx + 1]};
+            benefit[i] = pair.tempo.speedupOver(pair.base);
+            json.add(name,
+                     {{"dram.row_policy", rowPolicyName(kinds[i])},
+                      {"mc.tempo", "false"}},
+                     pair.base);
+            json.add(name,
+                     {{"dram.row_policy", rowPolicyName(kinds[i])},
+                      {"mc.tempo", "true"}},
+                     pair.tempo);
         }
         std::printf("%-10s %10.1f %10.1f %10.1f\n", name.c_str(),
                     pct(benefit[0]), pct(benefit[1]), pct(benefit[2]));
     }
+    json.write(refs());
     footer();
     return 0;
 }

@@ -22,21 +22,42 @@ main()
            "single percents)");
 
     const Cycle waits[] = {0, 5, 10, 15};
+    const std::size_t num_waits = std::size(waits);
     std::printf("%-10s %8s %8s %8s %8s\n", "workload", "wait0%",
                 "wait5%", "wait10%", "wait15%");
-    for (const std::string &name : bigDataWorkloadNames()) {
-        const SystemConfig base_cfg = SystemConfig::skylakeScaled();
-        const RunResult base = runWorkload(base_cfg, name, refs());
-        std::printf("%-10s", name.c_str());
+    const std::vector<std::string> &names = bigDataWorkloadNames();
+    const SystemConfig base_cfg = SystemConfig::skylakeScaled();
+
+    std::vector<ExperimentPoint> points;
+    for (const std::string &name : names) {
+        points.push_back(point(base_cfg, name, refs()));
         for (const Cycle wait : waits) {
             SystemConfig cfg = base_cfg;
             cfg.withTempo(true);
             cfg.mc.tempoPtRowHold = wait;
-            const RunResult result = runWorkload(cfg, name, refs());
+            points.push_back(point(cfg, name, refs()));
+        }
+    }
+    const std::vector<RunResult> results = runAll(std::move(points));
+
+    JsonRecorder json("fig15_pt_wait");
+    std::size_t idx = 0;
+    for (const std::string &name : names) {
+        const RunResult &base = results[idx++];
+        json.add(name, {{"mc.tempo", "false"}}, base);
+        std::printf("%-10s", name.c_str());
+        for (std::size_t w = 0; w < num_waits; ++w) {
+            const RunResult &result = results[idx++];
             std::printf(" %8.2f", pct(result.speedupOver(base)));
+            json.add(name,
+                     {{"mc.tempo", "true"},
+                      {"mc.pt_row_hold",
+                       std::to_string(waits[w])}},
+                     result);
         }
         std::printf("\n");
     }
+    json.write(refs());
     footer();
     return 0;
 }

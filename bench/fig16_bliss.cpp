@@ -31,36 +31,73 @@ main()
 
     // Alone runtimes (shared by every configuration of a mix).
     std::vector<std::vector<Cycle>> alone;
-    std::vector<FairnessPoint> baseline;
-    for (const auto &mix : mixes) {
+    for (const auto &mix : mixes)
         alone.push_back(aloneRuntimes(bliss_cfg, mix, per_app));
-        baseline.push_back(
-            runMix(bliss_cfg, mix, alone.back(), per_app));
-    }
 
-    auto sweep = [&](const char *title, auto config_for,
-                     const std::vector<unsigned> &xs) {
+    // Baseline mixes run together as one parallel batch.
+    std::vector<MixPoint> base_points;
+    for (const auto &mix : mixes)
+        base_points.push_back(
+            MixPoint{mix, bliss_cfg, per_app, 0});
+    const std::vector<MultiResult> base_results =
+        runMixExperiments(base_points);
+    std::vector<FairnessPoint> baseline;
+    for (std::size_t m = 0; m < mixes.size(); ++m)
+        baseline.push_back(
+            FairnessPoint{base_results[m].weightedSpeedup(alone[m]),
+                          base_results[m].maxSlowdown(alone[m])});
+
+    JsonRecorder json("fig16_bliss");
+
+    auto sweep = [&](const char *title, const char *key,
+                     auto config_for, const std::vector<unsigned> &xs) {
         std::printf("\n%s\n", title);
         std::printf("%6s %20s %20s\n", "x", "d-weighted-speedup%",
                     "d-max-slowdown%");
-        for (const unsigned x : xs) {
+        // All (x, mix) combinations execute as one parallel batch.
+        std::vector<MixPoint> points;
+        for (const unsigned x : xs)
+            for (const auto &mix : mixes)
+                points.push_back(
+                    MixPoint{mix, config_for(x), per_app, 0});
+        const std::vector<MultiResult> results =
+            runMixExperiments(points);
+        for (std::size_t xi = 0; xi < xs.size(); ++xi) {
             double ws = 0, slow = 0;
             for (std::size_t m = 0; m < mixes.size(); ++m) {
-                SystemConfig cfg = config_for(x);
-                const FairnessPoint point =
-                    runMix(cfg, mixes[m], alone[m], per_app);
+                const MultiResult &result =
+                    results[xi * mixes.size() + m];
+                const FairnessPoint point{
+                    result.weightedSpeedup(alone[m]),
+                    result.maxSlowdown(alone[m])};
                 ws += point.weightedSpeedup
                     / baseline[m].weightedSpeedup - 1.0;
                 slow += 1.0
                     - point.maxSlowdown / baseline[m].maxSlowdown;
+                json.addMetrics(
+                    "mix" + std::to_string(m),
+                    {{key, std::to_string(xs[xi])},
+                     {"mc.tempo", "true"}},
+                    {{"weighted_speedup", point.weightedSpeedup},
+                     {"max_slowdown", point.maxSlowdown}},
+                    result.runtime);
             }
-            std::printf("%6u %20.2f %20.2f\n", x,
+            std::printf("%6u %20.2f %20.2f\n", xs[xi],
                         pct(ws / mixes.size()),
                         pct(slow / mixes.size()));
         }
     };
 
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        json.addMetrics(
+            "mix" + std::to_string(m), {{"mc.tempo", "false"}},
+            {{"weighted_speedup", baseline[m].weightedSpeedup},
+             {"max_slowdown", baseline[m].maxSlowdown}},
+            base_results[m].runtime);
+    }
+
     sweep("left: prefetch counter weight (demand weight = 2)",
+          "mc.bliss_prefetch_weight",
           [&](unsigned weight) {
               SystemConfig cfg = bliss_cfg;
               cfg.withTempo(true);
@@ -70,6 +107,7 @@ main()
           {0, 1, 2, 3, 4});
 
     sweep("right: grace period after prefetch (cycles)",
+          "mc.grace_period",
           [&](unsigned grace) {
               SystemConfig cfg = bliss_cfg;
               cfg.withTempo(true);
@@ -78,6 +116,7 @@ main()
           },
           {0, 5, 15, 30, 60});
 
+    json.write(per_app);
     footer();
     return 0;
 }

@@ -24,6 +24,7 @@ main()
     const auto mixes = fairnessMixes();
     const unsigned dedications[] = {0, 1, 2, 4, 6};
 
+    JsonRecorder json("fig17_subrow");
     for (const SubRowAlloc alloc : {SubRowAlloc::FOA, SubRowAlloc::POA}) {
         std::printf("\n%s:\n", subRowAllocName(alloc));
 
@@ -33,32 +34,70 @@ main()
         base_cfg.withSubRows(alloc, 0);
 
         std::vector<std::vector<Cycle>> alone;
-        std::vector<FairnessPoint> baseline;
-        for (const auto &mix : mixes) {
+        for (const auto &mix : mixes)
             alone.push_back(aloneRuntimes(base_cfg, mix, per_app));
-            baseline.push_back(
-                runMix(base_cfg, mix, alone.back(), per_app));
+
+        std::vector<MixPoint> base_points;
+        for (const auto &mix : mixes)
+            base_points.push_back(
+                MixPoint{mix, base_cfg, per_app, 0});
+        const std::vector<MultiResult> base_results =
+            runMixExperiments(base_points);
+        std::vector<FairnessPoint> baseline;
+        for (std::size_t m = 0; m < mixes.size(); ++m) {
+            baseline.push_back(FairnessPoint{
+                base_results[m].weightedSpeedup(alone[m]),
+                base_results[m].maxSlowdown(alone[m])});
+            json.addMetrics(
+                "mix" + std::to_string(m),
+                {{"mc.subrow", subRowAllocName(alloc)},
+                 {"mc.tempo", "false"}},
+                {{"weighted_speedup", baseline[m].weightedSpeedup},
+                 {"max_slowdown", baseline[m].maxSlowdown}},
+                base_results[m].runtime);
         }
+
+        // All (dedication, mix) combinations as one parallel batch.
+        std::vector<MixPoint> points;
+        for (const unsigned dedicated : dedications) {
+            SystemConfig cfg = base_cfg;
+            cfg.withSubRows(alloc, dedicated).withTempo(true);
+            for (const auto &mix : mixes)
+                points.push_back(MixPoint{mix, cfg, per_app, 0});
+        }
+        const std::vector<MultiResult> results =
+            runMixExperiments(points);
 
         std::printf("%12s %20s %20s\n", "dedicated",
                     "d-weighted-speedup%", "d-max-slowdown%");
-        for (const unsigned dedicated : dedications) {
+        for (std::size_t d = 0; d < std::size(dedications); ++d) {
             double ws = 0, slow = 0;
             for (std::size_t m = 0; m < mixes.size(); ++m) {
-                SystemConfig cfg = base_cfg;
-                cfg.withSubRows(alloc, dedicated).withTempo(true);
-                const FairnessPoint point =
-                    runMix(cfg, mixes[m], alone[m], per_app);
+                const MultiResult &result =
+                    results[d * mixes.size() + m];
+                const FairnessPoint point{
+                    result.weightedSpeedup(alone[m]),
+                    result.maxSlowdown(alone[m])};
                 ws += point.weightedSpeedup
                     / baseline[m].weightedSpeedup - 1.0;
                 slow += 1.0
                     - point.maxSlowdown / baseline[m].maxSlowdown;
+                json.addMetrics(
+                    "mix" + std::to_string(m),
+                    {{"mc.subrow", subRowAllocName(alloc)},
+                     {"mc.subrow_dedicated",
+                      std::to_string(dedications[d])},
+                     {"mc.tempo", "true"}},
+                    {{"weighted_speedup", point.weightedSpeedup},
+                     {"max_slowdown", point.maxSlowdown}},
+                    result.runtime);
             }
-            std::printf("%12u %20.2f %20.2f\n", dedicated,
+            std::printf("%12u %20.2f %20.2f\n", dedications[d],
                         pct(ws / mixes.size()),
                         pct(slow / mixes.size()));
         }
     }
+    json.write(per_app);
     footer();
     return 0;
 }

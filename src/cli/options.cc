@@ -66,8 +66,11 @@ usage()
         "  --subrow A          none | foa | poa sub-row buffers\n"
         "  --subrow-dedicated N  sub-rows reserved for prefetches\n"
         "  --seed N            RNG seed (default 42)\n"
+        "  --jobs N            worker threads for --compare runs\n"
+        "                      (default: all cores, or TEMPO_JOBS)\n"
         "  --full-report       dump every statistic\n"
         "  --csv PATH          write the full report as CSV\n"
+        "  --json PATH         write results as tempo-bench-1 JSON\n"
         "  --trace-in PATH     replay a recorded trace file\n"
         "  --trace-out PATH    record the workload to a trace file and "
         "exit\n"
@@ -137,10 +140,15 @@ parse(const std::vector<std::string> &args)
                 parseU64(arg, next("--subrow-dedicated")));
         } else if (arg == "--seed") {
             options.seed = parseU64(arg, next("--seed"));
+        } else if (arg == "--jobs") {
+            options.jobs =
+                static_cast<unsigned>(parseU64(arg, next("--jobs")));
         } else if (arg == "--full-report") {
             options.fullReport = true;
         } else if (arg == "--csv") {
             options.csvPath = next("--csv");
+        } else if (arg == "--json") {
+            options.jsonPath = next("--json");
         } else if (arg == "--trace-in") {
             options.traceIn = next("--trace-in");
         } else if (arg == "--trace-out") {

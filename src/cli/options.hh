@@ -30,8 +30,12 @@ struct Options {
     std::string subrow = "none";       //!< none | foa | poa
     unsigned subrowDedicated = 0;
     std::uint64_t seed = 42;
+    /** Worker threads for parallel runs (--compare); 0 = all cores
+     * (or the TEMPO_JOBS env var). */
+    unsigned jobs = 0;
     bool fullReport = false;
     std::string csvPath;    //!< write the full report as CSV here
+    std::string jsonPath;   //!< write results as tempo-bench-1 JSON
     std::string traceIn;    //!< replay this trace file instead of the
                             //!< named generator
     std::string traceOut;   //!< record the workload to this file and

@@ -1,0 +1,92 @@
+#include "core/experiment.hh"
+
+#include "common/thread_pool.hh"
+
+namespace tempo {
+
+std::uint64_t
+derivedSeed(std::uint64_t base, std::uint64_t index)
+{
+    std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+unsigned
+defaultJobs()
+{
+    return ThreadPool::defaultThreads();
+}
+
+std::vector<RunResult>
+runExperiments(const std::vector<ExperimentPoint> &points, unsigned jobs)
+{
+    std::vector<RunResult> results(points.size());
+    parallelFor(points.size(), jobs, [&](std::size_t i) {
+        const ExperimentPoint &point = points[i];
+        const std::uint64_t seed =
+            point.seed ? point.seed : point.config.seed;
+        auto workload = point.makeWorkloadFn
+            ? point.makeWorkloadFn()
+            : makeWorkload(point.workload, seed);
+        TempoSystem system(point.config, std::move(workload));
+        results[i] = system.run(point.refs, point.warmup);
+    });
+    return results;
+}
+
+std::vector<MultiResult>
+runMixExperiments(const std::vector<MixPoint> &points, unsigned jobs)
+{
+    std::vector<MultiResult> results(points.size());
+    parallelFor(points.size(), jobs, [&](std::size_t i) {
+        const MixPoint &point = points[i];
+        MultiSystem system(point.config,
+                           makeMix(point.workloads, point.config.seed));
+        results[i] = system.run(point.refsPerApp, point.warmupPerApp);
+    });
+    return results;
+}
+
+stats::BenchPoint
+toBenchPoint(const std::string &workload,
+             std::vector<std::pair<std::string, std::string>> config,
+             const RunResult &result)
+{
+    stats::BenchPoint point;
+    point.workload = workload;
+    point.config = std::move(config);
+    point.runtimeCycles = result.runtime;
+    point.energy = {
+        {"core_static", result.energy.coreStatic},
+        {"dram_static", result.energy.dramStatic},
+        {"dram_dynamic", result.energy.dramDynamic},
+        {"mc_dynamic", result.energy.mcDynamic},
+        {"total", result.energy.total()},
+    };
+
+    // Headline counters first (the golden-stats regression surface),
+    // then the complete per-component report.
+    const CoreStats &core = result.core;
+    point.counters = {
+        {"walks", static_cast<double>(core.walks)},
+        {"leaf_pt_dram_accesses",
+         static_cast<double>(core.leafPtDramAccesses)},
+        {"replay_after_dram_walk",
+         static_cast<double>(core.replayAfterDramWalk)},
+        {"replay_llc_hit_rate",
+         stats::ratio(core.replayLlcHits, core.replayAfterDramWalk)},
+        {"dram_ptw", static_cast<double>(result.dramPtw)},
+        {"dram_replay", static_cast<double>(result.dramReplay)},
+        {"dram_other", static_cast<double>(result.dramOther)},
+        {"superpage_coverage", result.superpageCoverage},
+        {"coverage_2m", result.coverage2M},
+        {"coverage_1g", result.coverage1G},
+    };
+    for (const auto &[name, value] : result.report.entries())
+        point.counters.emplace_back("report." + name, value);
+    return point;
+}
+
+} // namespace tempo

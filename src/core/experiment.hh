@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The parallel experiment engine: run independent (workload, config)
+ * simulation points concurrently on a work-stealing thread pool and
+ * return their results in submission order.
+ *
+ * Determinism: every point constructs its own TempoSystem/MultiSystem
+ * and draws all randomness from an explicit per-point seed, so a batch
+ * produces bit-identical results at any thread count. Callers that want
+ * distinct seeds per point derive them with derivedSeed() — never from
+ * a shared RNG, whose draw order would depend on scheduling.
+ */
+
+#ifndef TEMPO_CORE_EXPERIMENT_HH
+#define TEMPO_CORE_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/multi_system.hh"
+#include "core/tempo_system.hh"
+#include "stats/json.hh"
+
+namespace tempo {
+
+/** One single-application simulation point. */
+struct ExperimentPoint {
+    /** Workload generator name (makeWorkload), or a label when
+     * makeWorkloadFn is set. */
+    std::string workload;
+    SystemConfig config;
+    std::uint64_t refs = 0;
+    std::uint64_t warmup = 0;
+    /** Workload seed; 0 selects config.seed. */
+    std::uint64_t seed = 0;
+    /** Optional factory override (e.g. trace replay). Must be safe to
+     * invoke from a worker thread. */
+    std::function<std::unique_ptr<Workload>()> makeWorkloadFn;
+};
+
+/** One multiprogrammed simulation point. */
+struct MixPoint {
+    std::vector<std::string> workloads;
+    SystemConfig config;
+    std::uint64_t refsPerApp = 0;
+    std::uint64_t warmupPerApp = 0;
+};
+
+/** splitmix64 finalizer: a decorrelated seed for point @p index. */
+std::uint64_t derivedSeed(std::uint64_t base, std::uint64_t index);
+
+/** Job count used when a caller passes jobs == 0: the TEMPO_JOBS env
+ * var if positive, else all hardware threads. */
+unsigned defaultJobs();
+
+/**
+ * Run all @p points on @p jobs threads (0 = defaultJobs()) and return
+ * results in point order. Results are bit-identical for any job count.
+ * Exceptions from point construction or execution propagate to the
+ * caller (first one wins; remaining points still complete).
+ */
+std::vector<RunResult>
+runExperiments(const std::vector<ExperimentPoint> &points,
+               unsigned jobs = 0);
+
+/** Multiprogrammed counterpart of runExperiments(). */
+std::vector<MultiResult>
+runMixExperiments(const std::vector<MixPoint> &points, unsigned jobs = 0);
+
+/**
+ * Flatten a finished point into the "tempo-bench-1" JSON schema:
+ * runtime, the full energy breakdown, and the headline counters
+ * (walks, prefetch issue/drop, replay service points, DRAM mix,
+ * coverage, TLB miss rate) plus every report entry.
+ */
+stats::BenchPoint
+toBenchPoint(const std::string &workload,
+             std::vector<std::pair<std::string, std::string>> config,
+             const RunResult &result);
+
+} // namespace tempo
+
+#endif // TEMPO_CORE_EXPERIMENT_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/thread_pool.hh"
 #include "core/tempo_system.hh"
 
 namespace tempo {
@@ -96,15 +97,15 @@ aloneRuntimes(const SystemConfig &cfg,
               const std::vector<std::string> &names,
               std::uint64_t refs_per_app, std::uint64_t warmup_per_app)
 {
-    std::vector<Cycle> alone;
-    alone.reserve(names.size());
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        // Same per-workload trace seed as makeMix() so the alone and
-        // shared runs execute identical reference streams.
+    // Each alone run is an independent simulation, so they execute
+    // concurrently; results land by index, seeds stay per-workload
+    // (same per-workload trace seed as makeMix() so the alone and
+    // shared runs execute identical reference streams).
+    std::vector<Cycle> alone(names.size());
+    parallelFor(names.size(), 0, [&](std::size_t i) {
         TempoSystem system(cfg, makeWorkload(names[i], cfg.seed + 13 * i));
-        alone.push_back(
-            system.run(refs_per_app, warmup_per_app).runtime);
-    }
+        alone[i] = system.run(refs_per_app, warmup_per_app).runtime;
+    });
     return alone;
 }
 

@@ -1,0 +1,207 @@
+#include "stats/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/log.hh"
+
+namespace tempo::stats {
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    TEMPO_ASSERT(kind_ == Kind::Object, "Json::set on non-object");
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Json &
+Json::push(Json value)
+{
+    TEMPO_ASSERT(kind_ == Kind::Array, "Json::push on non-array");
+    elements_.push_back(std::move(value));
+    return *this;
+}
+
+std::string
+jsonEscape(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Shortest round-trip double representation (JSON has no NaN/Inf;
+ * those become 0 — they never appear in valid results). */
+std::string
+formatDouble(double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    char buf[32];
+    const auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof(buf), v);
+    TEMPO_ASSERT(ec == std::errc(), "double format failed");
+    std::string out(buf, ptr);
+    // Bare integers ("42") are valid JSON numbers but ambiguous about
+    // intent; keep them as emitted — parsers do not care.
+    return out;
+}
+
+std::string
+indentOf(int depth)
+{
+    return std::string(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+} // namespace
+
+void
+Json::writeIndented(std::ostream &os, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        os << "null";
+        break;
+      case Kind::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::Uint:
+        os << uint_;
+        break;
+      case Kind::Double:
+        os << formatDouble(double_);
+        break;
+      case Kind::String:
+        os << '"' << jsonEscape(string_) << '"';
+        break;
+      case Kind::Array:
+        if (elements_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << "[\n";
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+            os << indentOf(depth + 1);
+            elements_[i].writeIndented(os, depth + 1);
+            os << (i + 1 < elements_.size() ? ",\n" : "\n");
+        }
+        os << indentOf(depth) << ']';
+        break;
+      case Kind::Object:
+        if (members_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << "{\n";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            os << indentOf(depth + 1) << '"'
+               << jsonEscape(members_[i].first) << "\": ";
+            members_[i].second.writeIndented(os, depth + 1);
+            os << (i + 1 < members_.size() ? ",\n" : "\n");
+        }
+        os << indentOf(depth) << '}';
+        break;
+    }
+}
+
+void
+Json::write(std::ostream &os) const
+{
+    writeIndented(os, 0);
+    os << '\n';
+}
+
+std::string
+Json::dump() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+Json
+benchJson(const std::string &bench, std::uint64_t refs,
+          std::uint64_t seed, const std::vector<BenchPoint> &points)
+{
+    Json doc = Json::object();
+    doc.set("schema", "tempo-bench-1");
+    doc.set("bench", bench);
+    doc.set("refs", refs);
+    doc.set("seed", seed);
+
+    Json point_array = Json::array();
+    for (const BenchPoint &point : points) {
+        Json p = Json::object();
+        p.set("workload", point.workload);
+        Json config = Json::object();
+        for (const auto &[key, value] : point.config)
+            config.set(key, value);
+        p.set("config", std::move(config));
+        p.set("runtime_cycles", point.runtimeCycles);
+        Json energy = Json::object();
+        for (const auto &[key, value] : point.energy)
+            energy.set(key, value);
+        p.set("energy", std::move(energy));
+        Json counters = Json::object();
+        for (const auto &[key, value] : point.counters)
+            counters.set(key, value);
+        p.set("counters", std::move(counters));
+        point_array.push(std::move(p));
+    }
+    doc.set("points", std::move(point_array));
+    return doc;
+}
+
+void
+writeBenchJson(const std::string &path, const std::string &bench,
+               std::uint64_t refs, std::uint64_t seed,
+               const std::vector<BenchPoint> &points)
+{
+    std::ofstream os(path);
+    if (!os)
+        throw std::runtime_error("cannot write " + path);
+    benchJson(bench, refs, seed, points).write(os);
+    if (!os)
+        throw std::runtime_error("short write to " + path);
+}
+
+} // namespace tempo::stats

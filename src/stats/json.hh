@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal JSON emission for machine-readable experiment results.
+ *
+ * Two layers:
+ *  - Json: an ordered, write-only JSON document builder (objects keep
+ *    insertion order; doubles print as shortest round-trip so emission
+ *    is byte-deterministic for identical values).
+ *  - The bench result schema ("tempo-bench-1"): one file per bench
+ *    binary / tool invocation, listing every simulation point with its
+ *    workload, config overrides, runtime, energy breakdown, and
+ *    headline counters. This is what BENCH_<name>.json files contain
+ *    and what the golden-stats regression test validates.
+ *
+ * Schema (all keys always present, points in run order):
+ *
+ *   {
+ *     "schema": "tempo-bench-1",
+ *     "bench": "<binary or tool name>",
+ *     "refs": <measured references per point>,
+ *     "seed": <base RNG seed>,
+ *     "points": [
+ *       {
+ *         "workload": "<name or mix label>",
+ *         "config": { "<section.key>": "<value>", ... },
+ *         "runtime_cycles": <uint>,
+ *         "energy": { "core_static": <num>, ..., "total": <num> },
+ *         "counters": { "<name>": <num>, ... }
+ *       }, ...
+ *     ]
+ *   }
+ */
+
+#ifndef TEMPO_STATS_JSON_HH
+#define TEMPO_STATS_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tempo::stats {
+
+/** Ordered write-only JSON value. */
+class Json
+{
+  public:
+    Json() : kind_(Kind::Null) {}
+    Json(bool v) : kind_(Kind::Bool), bool_(v) {}
+    Json(std::uint64_t v) : kind_(Kind::Uint), uint_(v) {}
+    Json(int v) : kind_(Kind::Uint), uint_(static_cast<std::uint64_t>(v)) {}
+    Json(double v) : kind_(Kind::Double), double_(v) {}
+    Json(std::string v) : kind_(Kind::String), string_(std::move(v)) {}
+    Json(const char *v) : kind_(Kind::String), string_(v) {}
+
+    static Json object();
+    static Json array();
+
+    /** Append a key/value pair; panics unless this is an object. */
+    Json &set(const std::string &key, Json value);
+    /** Append an element; panics unless this is an array. */
+    Json &push(Json value);
+
+    /** Pretty-print with 2-space indentation and a trailing newline at
+     * top level. Deterministic: same document, same bytes. */
+    void write(std::ostream &os) const;
+    std::string dump() const;
+
+  private:
+    enum class Kind { Null, Bool, Uint, Double, String, Array, Object };
+
+    void writeIndented(std::ostream &os, int depth) const;
+
+    Kind kind_;
+    bool bool_ = false;
+    std::uint64_t uint_ = 0;
+    double double_ = 0;
+    std::string string_;
+    std::vector<Json> elements_;                        // array
+    std::vector<std::pair<std::string, Json>> members_; // object
+};
+
+/** JSON string escaping (quotes not included). */
+std::string jsonEscape(const std::string &raw);
+
+/** One simulation point of a bench result file. */
+struct BenchPoint {
+    std::string workload;
+    /** Config overrides relative to the preset, "section.key" form. */
+    std::vector<std::pair<std::string, std::string>> config;
+    std::uint64_t runtimeCycles = 0;
+    std::vector<std::pair<std::string, double>> energy;
+    std::vector<std::pair<std::string, double>> counters;
+};
+
+/** Build a "tempo-bench-1" document. */
+Json benchJson(const std::string &bench, std::uint64_t refs,
+               std::uint64_t seed, const std::vector<BenchPoint> &points);
+
+/**
+ * Write a "tempo-bench-1" file to @p path.
+ * @throws std::runtime_error when the file cannot be written.
+ */
+void writeBenchJson(const std::string &path, const std::string &bench,
+                    std::uint64_t refs, std::uint64_t seed,
+                    const std::vector<BenchPoint> &points);
+
+} // namespace tempo::stats
+
+#endif // TEMPO_STATS_JSON_HH

@@ -107,6 +107,41 @@ TEST_P(BigDataProperty, TempoServesReplaysFromLlcOrRow)
               0.5);
 }
 
+TEST_P(BigDataProperty, EveryReplayIsClassified)
+{
+    // Core TEMPO invariant, part 1: with TEMPO on, every replayed
+    // reference after a DRAM walk is accounted for by exactly one
+    // service point — LLC hit, private-cache hit, merge with the
+    // in-flight prefetch, DRAM row-buffer hit, or DRAM array access.
+    // Nothing is dropped and nothing is double-counted.
+    const RunPair &runs = cachedRun(GetParam());
+    const CoreStats &core = runs.tempo.core;
+    ASSERT_GT(core.replayAfterDramWalk, 0u);
+    EXPECT_EQ(core.replayLlcHits + core.replayPrivateHits
+                  + core.replayMerged + core.replayRowHits
+                  + core.replayArray,
+              core.replayAfterDramWalk);
+    // Part 2: the unaided residue (full DRAM array access, paying the
+    // ACT+CAS the prefetch was supposed to hide) is a small tail.
+    EXPECT_LE(stats::ratio(core.replayArray, core.replayAfterDramWalk),
+              0.15);
+}
+
+TEST_P(BigDataProperty, PrefetchesNeverExceedTaggedLeafAccesses)
+{
+    // Core TEMPO invariant, part 3: prefetches are triggered only by
+    // tagged leaf-PTE DRAM accesses, so the issue count can never
+    // exceed them (it may fall short when the line is already cached
+    // or the prefetch is dropped).
+    const RunPair &runs = cachedRun(GetParam());
+    const auto issued = static_cast<std::uint64_t>(
+        runs.tempo.report.get("mc.tempo.prefetches_issued"));
+    EXPECT_LE(issued, runs.tempo.core.leafPtDramAccesses);
+    EXPECT_GT(issued, 0u);
+    // And the baseline machine must never prefetch at all.
+    EXPECT_EQ(runs.base.report.get("mc.tempo.prefetches_issued"), 0.0);
+}
+
 TEST_P(BigDataProperty, PrefetchesAreNonSpeculative)
 {
     SystemConfig cfg = SystemConfig::skylakeScaled();

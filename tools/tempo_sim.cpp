@@ -5,29 +5,40 @@
  *   tempo_sim --workload xsbench --refs 500000 --compare
  *   tempo_sim --workload graph500 --tempo --sched bliss --full-report
  *   tempo_sim --workload spmv --trace-out spmv.trace --refs 1000000
- *   tempo_sim --trace-in spmv.trace --compare
+ *   tempo_sim --trace-in spmv.trace --compare --json result.json
+ *
+ * --compare runs baseline and TEMPO as two points on the parallel
+ * experiment engine (--jobs N); results are identical at any job
+ * count.
  */
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 
 #include "cli/options.hh"
-#include "core/tempo_system.hh"
+#include "core/experiment.hh"
 #include "trace/trace.hh"
 
 namespace {
 
 using namespace tempo;
 
-std::unique_ptr<Workload>
-buildWorkload(const cli::Options &options, std::uint64_t seed)
+/** A thread-safe workload factory for one engine point. Traces are
+ * loaded once, up front, and copied per point. */
+std::function<std::unique_ptr<Workload>()>
+workloadFactory(const cli::Options &options, std::uint64_t seed)
 {
-    if (!options.traceIn.empty())
-        return std::make_unique<TraceWorkload>(
-            readTrace(options.traceIn));
-    return makeWorkload(options.workload, seed);
+    if (!options.traceIn.empty()) {
+        auto trace = std::make_shared<Trace>(readTrace(options.traceIn));
+        return [trace] {
+            return std::make_unique<TraceWorkload>(*trace);
+        };
+    }
+    const std::string name = options.workload;
+    return [name, seed] { return makeWorkload(name, seed); };
 }
 
 void
@@ -69,7 +80,7 @@ main(int argc, char **argv)
     const SystemConfig cfg = toConfig(options);
 
     if (!options.traceOut.empty()) {
-        auto workload = buildWorkload(options, cfg.seed);
+        auto workload = workloadFactory(options, cfg.seed)();
         const Trace trace = recordTrace(*workload, options.refs);
         writeTrace(trace, options.traceOut);
         std::printf("recorded %llu refs of %s to %s\n",
@@ -78,16 +89,33 @@ main(int argc, char **argv)
         return 0;
     }
 
-    TempoSystem system(cfg, buildWorkload(options, cfg.seed));
-    const RunResult result = system.run(options.refs);
-    printSummary(cfg.mc.tempoEnabled ? "TEMPO" : "baseline", result);
-
+    // Point 0: the configured run. Point 1 (--compare): TEMPO on the
+    // same machine. Both run concurrently on the experiment engine.
+    std::vector<ExperimentPoint> points;
+    ExperimentPoint first;
+    first.workload = options.workload;
+    first.config = cfg;
+    first.refs = options.refs;
+    first.makeWorkloadFn = workloadFactory(options, cfg.seed);
+    points.push_back(std::move(first));
     if (options.compare) {
         SystemConfig tempo_cfg = cfg;
         tempo_cfg.withTempo(true);
-        TempoSystem tempo_system(tempo_cfg,
-                                 buildWorkload(options, tempo_cfg.seed));
-        const RunResult with_tempo = tempo_system.run(options.refs);
+        ExperimentPoint second;
+        second.workload = options.workload;
+        second.config = tempo_cfg;
+        second.refs = options.refs;
+        second.makeWorkloadFn = workloadFactory(options, tempo_cfg.seed);
+        points.push_back(std::move(second));
+    }
+
+    const std::vector<RunResult> results =
+        runExperiments(points, options.jobs);
+    const RunResult &result = results.front();
+    printSummary(cfg.mc.tempoEnabled ? "TEMPO" : "baseline", result);
+
+    if (options.compare) {
+        const RunResult &with_tempo = results.back();
         printSummary("TEMPO", with_tempo);
         std::printf("\nTEMPO improvement: performance %+.1f%%, "
                     "energy %+.1f%%\n",
@@ -108,6 +136,25 @@ main(int argc, char **argv)
         }
         result.report.printCsv(csv);
         std::printf("wrote %s\n", options.csvPath.c_str());
+    }
+    if (!options.jsonPath.empty()) {
+        std::vector<stats::BenchPoint> bench_points;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const bool tempo_on =
+                points[i].config.mc.tempoEnabled;
+            bench_points.push_back(toBenchPoint(
+                points[i].workload,
+                {{"mc.tempo", tempo_on ? "true" : "false"}},
+                results[i]));
+        }
+        try {
+            stats::writeBenchJson(options.jsonPath, "tempo_sim",
+                                  options.refs, cfg.seed, bench_points);
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+            return 1;
+        }
+        std::printf("wrote %s\n", options.jsonPath.c_str());
     }
     return 0;
 }

@@ -8,11 +8,13 @@
  *   tempo_sweep --workload xsbench --key dram.row_policy \
  *               --values open,closed,adaptive --compare
  *   tempo_sweep --workload mcf --key mc.pt_row_hold --values 0,5,10,15 \
- *               --tempo
+ *               --tempo --jobs 8 --json sweep.json
  *   tempo_sweep --workload graph500 --key vm.frag \
  *               --values 0,0.25,0.5,0.75 --compare --refs 200000
  *
  * The key syntax is "<section>.<key>" from src/cli/config_file.hh.
+ * All points run concurrently on the experiment engine (--jobs N,
+ * default all cores); output is byte-identical for any job count.
  */
 
 #include <cstdio>
@@ -22,28 +24,12 @@
 #include <vector>
 
 #include "cli/config_file.hh"
-#include "core/tempo_system.hh"
+#include "cli/strings.hh"
+#include "core/experiment.hh"
 
 namespace {
 
 using namespace tempo;
-
-std::vector<std::string>
-splitCommas(const std::string &s)
-{
-    std::vector<std::string> out;
-    std::size_t begin = 0;
-    while (begin <= s.size()) {
-        const std::size_t comma = s.find(',', begin);
-        if (comma == std::string::npos) {
-            out.push_back(s.substr(begin));
-            break;
-        }
-        out.push_back(s.substr(begin, comma - begin));
-        begin = comma + 1;
-    }
-    return out;
-}
 
 struct SweepArgs {
     std::string workload = "xsbench";
@@ -51,6 +37,8 @@ struct SweepArgs {
     std::vector<std::string> values;
     std::uint64_t refs = 150000;
     std::uint64_t warmup = 0;
+    unsigned jobs = 0;
+    std::string jsonPath;
     bool tempo = false;
     bool compare = false;
 };
@@ -61,9 +49,12 @@ usage(int status)
     std::fputs(
         "usage: tempo_sweep --key SECTION.KEY --values V1,V2,...\n"
         "  [--workload NAME] [--refs N] [--warmup N]\n"
+        "  [--jobs N] [--json PATH]\n"
         "  [--tempo | --compare]\n"
         "Keys are the INI config keys (src/cli/config_file.hh),\n"
-        "e.g. dram.row_policy, mc.pt_row_hold, vm.frag.\n",
+        "e.g. dram.row_policy, mc.pt_row_hold, vm.frag.\n"
+        "Points run in parallel (--jobs N, default all cores or the\n"
+        "TEMPO_JOBS env var); results are identical at any job count.\n",
         status == 0 ? stdout : stderr);
     std::exit(status);
 }
@@ -84,11 +75,16 @@ parseArgs(int argc, char **argv)
         else if (arg == "--key")
             args.key = next();
         else if (arg == "--values")
-            args.values = splitCommas(next());
+            args.values = cli::splitCommas(next());
         else if (arg == "--refs")
             args.refs = std::strtoull(next().c_str(), nullptr, 10);
         else if (arg == "--warmup")
             args.warmup = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--jobs")
+            args.jobs = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        else if (arg == "--json")
+            args.jsonPath = next();
         else if (arg == "--tempo")
             args.tempo = true;
         else if (arg == "--compare")
@@ -121,13 +117,6 @@ configFor(const SweepArgs &args, const std::string &value, bool tempo)
     return cfg;
 }
 
-RunResult
-runPoint(const SweepArgs &args, const SystemConfig &cfg)
-{
-    TempoSystem system(cfg, makeWorkload(args.workload, cfg.seed));
-    return system.run(args.refs, args.warmup);
-}
-
 } // namespace
 
 int
@@ -135,37 +124,87 @@ main(int argc, char **argv)
 {
     const SweepArgs args = parseArgs(argc, argv);
 
+    // One point per value, plus the TEMPO twin when comparing. All
+    // points are independent: each builds its own config and workload
+    // (seeded from the config), so the engine may run them in any
+    // order on any thread.
+    std::vector<ExperimentPoint> points;
+    std::vector<std::vector<std::pair<std::string, std::string>>>
+        overrides;
+    try {
+        for (const std::string &value : args.values) {
+            ExperimentPoint base;
+            base.workload = args.workload;
+            base.config = configFor(args, value, args.tempo);
+            base.refs = args.refs;
+            base.warmup = args.warmup;
+            points.push_back(std::move(base));
+            overrides.push_back(
+                {{args.key, value},
+                 {"mc.tempo", args.tempo ? "true" : "false"}});
+            if (args.compare) {
+                ExperimentPoint with_tempo;
+                with_tempo.workload = args.workload;
+                with_tempo.config = configFor(args, value, true);
+                with_tempo.refs = args.refs;
+                with_tempo.warmup = args.warmup;
+                points.push_back(std::move(with_tempo));
+                overrides.push_back(
+                    {{args.key, value}, {"mc.tempo", "true"}});
+            }
+        }
+    } catch (const std::invalid_argument &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 2;
+    }
+
+    std::vector<RunResult> results;
+    try {
+        results = runExperiments(points, args.jobs);
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 2;
+    }
+
     std::printf("%s,runtime,energy,tlb_miss_rate,dram_ptw_frac,"
                 "superpage_coverage%s\n",
                 args.key.c_str(),
                 args.compare ? ",tempo_runtime,tempo_perf_gain" : "");
 
-    for (const std::string &value : args.values) {
-        try {
-            const SystemConfig base_cfg =
-                configFor(args, value, args.tempo);
-            const RunResult base = runPoint(args, base_cfg);
-            std::printf("%s,%llu,%.1f,%.4f,%.4f,%.4f", value.c_str(),
-                        static_cast<unsigned long long>(base.runtime),
-                        base.energy.total(),
-                        base.report.get("tlb.miss_rate"),
-                        base.fracDramPtw(), base.superpageCoverage);
-            if (args.compare) {
-                const SystemConfig tempo_cfg =
-                    configFor(args, value, true);
-                const RunResult with_tempo =
-                    runPoint(args, tempo_cfg);
-                std::printf(",%llu,%.4f",
-                            static_cast<unsigned long long>(
-                                with_tempo.runtime),
-                            with_tempo.speedupOver(base));
-            }
-            std::printf("\n");
-        } catch (const std::invalid_argument &error) {
-            std::fprintf(stderr, "error at value '%s': %s\n",
-                         value.c_str(), error.what());
-            return 2;
+    const std::size_t stride = args.compare ? 2 : 1;
+    for (std::size_t v = 0; v < args.values.size(); ++v) {
+        const RunResult &base = results[v * stride];
+        std::printf("%s,%llu,%.1f,%.4f,%.4f,%.4f",
+                    args.values[v].c_str(),
+                    static_cast<unsigned long long>(base.runtime),
+                    base.energy.total(),
+                    base.report.get("tlb.miss_rate"), base.fracDramPtw(),
+                    base.superpageCoverage);
+        if (args.compare) {
+            const RunResult &with_tempo = results[v * stride + 1];
+            std::printf(",%llu,%.4f",
+                        static_cast<unsigned long long>(
+                            with_tempo.runtime),
+                        with_tempo.speedupOver(base));
         }
+        std::printf("\n");
+    }
+
+    if (!args.jsonPath.empty()) {
+        std::vector<stats::BenchPoint> bench_points;
+        for (std::size_t i = 0; i < results.size(); ++i)
+            bench_points.push_back(toBenchPoint(
+                points[i].workload, overrides[i], results[i]));
+        try {
+            stats::writeBenchJson(args.jsonPath, "tempo_sweep",
+                                  args.refs,
+                                  SystemConfig::skylakeScaled().seed,
+                                  bench_points);
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+            return 1;
+        }
+        std::fprintf(stderr, "wrote %s\n", args.jsonPath.c_str());
     }
     return 0;
 }
