@@ -76,6 +76,9 @@ usage()
         "exit\n"
         "  --config PATH       apply an INI config file (see "
         "src/cli/config_file.hh)\n"
+        "  --profile           report per-component wall-clock "
+        "attribution\n"
+        "                      (profile.* keys; nondeterministic)\n"
         "  --help              this text\n";
 }
 
@@ -155,6 +158,8 @@ parse(const std::vector<std::string> &args)
             options.traceOut = next("--trace-out");
         } else if (arg == "--config") {
             options.configPath = next("--config");
+        } else if (arg == "--profile") {
+            options.profile = true;
         } else {
             bad("unknown option '" + arg + "' (try --help)");
         }

@@ -41,6 +41,9 @@ struct Options {
     std::string traceOut;   //!< record the workload to this file and
                             //!< exit without simulating
     std::string configPath; //!< INI file applied on top of the preset
+    /** Collect wall-clock per-component attribution and report it under
+     * the "profile." prefix (numbers are nondeterministic). */
+    bool profile = false;
     bool help = false;
 };
 

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * InlineFunction: a move-only callable wrapper with small-buffer
+ * storage, sized by the caller.
+ *
+ * std::function heap-allocates any capture larger than two pointers,
+ * which made every scheduled event, MSHR waiter, and memory-request
+ * completion in the simulator a malloc/free pair. InlineFunction stores
+ * the callable inside the wrapper up to a caller-chosen capacity —
+ * large enough for the simulator's hot-path captures — and falls back
+ * to the heap only for oversized or over-aligned callables, so
+ * correctness never depends on the capture fitting.
+ */
+
+#ifndef TEMPO_COMMON_INLINE_FUNCTION_HH
+#define TEMPO_COMMON_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tempo {
+
+template <typename Signature, std::size_t Capacity>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity>
+{
+    static_assert(Capacity >= sizeof(void *),
+                  "capacity must hold at least the heap-fallback pointer");
+
+  public:
+    InlineFunction() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction>
+                  && std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    InlineFunction(F &&fn)
+    {
+        emplace(std::forward<F>(fn));
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        return ops_->invoke(buf_, std::forward<Args>(args)...);
+    }
+
+    /** Destroy the held callable (no-op when empty). */
+    void
+    reset() noexcept
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    /** True when the callable lives in the inline buffer (not heap). */
+    bool inlineStored() const noexcept { return ops_ && ops_->isInline; }
+
+  private:
+    struct Ops {
+        R (*invoke)(void *, Args &&...);
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *) noexcept;
+        bool isInline;
+    };
+
+    template <typename Fn>
+    static constexpr bool storedInline =
+        sizeof(Fn) <= Capacity && alignof(Fn) <= alignof(std::max_align_t)
+        && std::is_nothrow_move_constructible_v<Fn>;
+
+    template <typename Fn>
+    struct InlineModel {
+        static R
+        invoke(void *p, Args &&...args)
+        {
+            return static_cast<R>(
+                (*static_cast<Fn *>(p))(std::forward<Args>(args)...));
+        }
+        static void
+        relocate(void *dst, void *src) noexcept
+        {
+            ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+            static_cast<Fn *>(src)->~Fn();
+        }
+        static void
+        destroy(void *p) noexcept
+        {
+            static_cast<Fn *>(p)->~Fn();
+        }
+        static constexpr Ops ops{&invoke, &relocate, &destroy, true};
+    };
+
+    template <typename Fn>
+    struct HeapModel {
+        static Fn *
+        held(void *p) noexcept
+        {
+            Fn *fn;
+            std::memcpy(&fn, p, sizeof(fn));
+            return fn;
+        }
+        static R
+        invoke(void *p, Args &&...args)
+        {
+            return static_cast<R>(
+                (*held(p))(std::forward<Args>(args)...));
+        }
+        static void
+        relocate(void *dst, void *src) noexcept
+        {
+            std::memcpy(dst, src, sizeof(Fn *));
+        }
+        static void
+        destroy(void *p) noexcept
+        {
+            delete held(p);
+        }
+        static constexpr Ops ops{&invoke, &relocate, &destroy, false};
+    };
+
+    template <typename F>
+    void
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (storedInline<Fn>) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
+            ops_ = &InlineModel<Fn>::ops;
+        } else {
+            Fn *heap = new Fn(std::forward<F>(fn));
+            std::memcpy(buf_, &heap, sizeof(heap));
+            ops_ = &HeapModel<Fn>::ops;
+        }
+    }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[Capacity];
+};
+
+} // namespace tempo
+
+#endif // TEMPO_COMMON_INLINE_FUNCTION_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/profiler.hh"
 
 namespace tempo {
 
@@ -97,7 +98,7 @@ SimCore::start(std::uint64_t num_refs)
 }
 
 bool
-SimCore::mshrWait(Addr line, std::function<void(Cycle)> waiter)
+SimCore::mshrWait(Addr line, MshrWaiter waiter)
 {
     const auto it = mshr_.find(line);
     if (it == mshr_.end())
@@ -139,8 +140,12 @@ SimCore::pump()
 void
 SimCore::beginRef()
 {
+    prof::Scope prof_scope(prof::Component::Core);
     auto ctx = std::make_shared<RefContext>();
-    ctx->ref = workload_->next();
+    {
+        prof::Scope workload_scope(prof::Component::Workload);
+        ctx->ref = workload_->next();
+    }
     ctx->issueAt = machine_.eq.now();
     ++stats_.refs;
 
@@ -198,6 +203,7 @@ SimCore::walkAsync(Addr vaddr, std::shared_ptr<WalkPlan> plan,
                    std::size_t step, bool for_prefetch,
                    std::function<void(Cycle, double, bool)> done)
 {
+    prof::Scope prof_scope(prof::Component::Walker);
     // Walk finished (or faulted at the last fetched level).
     if (step >= plan->fetches.size()) {
         done(machine_.eq.now(), 0, false);
@@ -304,6 +310,7 @@ SimCore::walkAsync(Addr vaddr, std::shared_ptr<WalkPlan> plan,
 void
 SimCore::dataAccess(const RefPtr &ctx)
 {
+    prof::Scope prof_scope(prof::Component::Core);
     TEMPO_ASSERT(ctx->paddr != kInvalidAddr, "data access untranslated");
     const CacheOutcome outcome =
         caches.access(ctx->paddr, ctx->ref.isWrite);
@@ -335,6 +342,7 @@ SimCore::dataAccess(const RefPtr &ctx)
 void
 SimCore::memoryAccess(const RefPtr &ctx)
 {
+    prof::Scope prof_scope(prof::Component::Core);
     const Addr line = lineAddr(ctx->paddr);
 
     if (ctx->tlbMiss && machine_.llc.cache().contains(line)) {
@@ -437,6 +445,7 @@ SimCore::memoryAccess(const RefPtr &ctx)
 void
 SimCore::finishRef(const RefPtr &ctx)
 {
+    prof::Scope prof_scope(prof::Component::Core);
     const Cycle now = machine_.eq.now();
     stats_.cyclesPtwDram += ctx->ptwDramCycles;
     stats_.cyclesReplayDram += ctx->replayDramCycles;

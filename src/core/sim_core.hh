@@ -156,11 +156,16 @@ class SimCore
     /** Extension: prefetch the next page's translation into the TLB. */
     void maybeTlbPrefetch(Addr vaddr, PageSize size);
 
+    /** Allocation-free MSHR waiter: typical captures (this, a ref
+     * context, a submit time) stay inline; oversized walk-chain
+     * continuations fall back to the heap. */
+    using MshrWaiter = InlineFunction<void(Cycle), kCompletionInlineBytes>;
+
     /** True when a fill of @p line is outstanding. */
     bool mshrPending(Addr line) const { return mshr_.count(line) > 0; }
     /** MSHR: if a fill of @p line is in flight, queue @p waiter for its
      * completion and return true. */
-    bool mshrWait(Addr line, std::function<void(Cycle)> waiter);
+    bool mshrWait(Addr line, MshrWaiter waiter);
     /** Register an outstanding fill of @p line. */
     void mshrOpen(Addr line);
     /** Complete the fill: release all waiters at @p when. */
@@ -180,8 +185,7 @@ class SimCore
     unsigned impInflight_ = 0;
 
     /** Outstanding line fills -> waiters (miss-status holding regs). */
-    std::unordered_map<Addr, std::vector<std::function<void(Cycle)>>>
-        mshr_;
+    std::unordered_map<Addr, std::vector<MshrWaiter>> mshr_;
 
     std::vector<Addr> strideTargets_; //!< scratch for stride.observe()
 

@@ -1,6 +1,7 @@
 #include "core/tempo_system.hh"
 
 #include "common/log.hh"
+#include "common/profiler.hh"
 
 namespace tempo {
 
@@ -77,8 +78,13 @@ TempoSystem::run(std::uint64_t num_refs, std::uint64_t warmup_refs)
             machine_.llc.resetStats();
         });
     }
+    const bool profiling = prof::enabled();
+    if (profiling)
+        prof::beginWindow();
     core_.start(num_refs + warmup_refs);
     machine_.eq.runAll();
+    const prof::Totals prof_totals =
+        profiling ? prof::endWindow() : prof::Totals{};
     TEMPO_ASSERT(core_.done(), "event queue drained before completion");
 
     RunResult result;
@@ -123,6 +129,24 @@ TempoSystem::run(std::uint64_t num_refs, std::uint64_t warmup_refs)
     stats::Report energy_report;
     result.energy.report(energy_report);
     result.report.merge("energy.", energy_report);
+
+    if (profiling) {
+        // Wall-clock attribution: nondeterministic, so only emitted when
+        // --profile explicitly asked for it (keeps goldens byte-stable).
+        stats::Report prof_report;
+        std::uint64_t total_ns = 0;
+        for (std::size_t i = 0; i < prof::kNumComponents; ++i) {
+            const auto c = static_cast<prof::Component>(i);
+            const std::string name = prof::componentName(c);
+            prof_report.add(name + "_ms",
+                            static_cast<double>(prof_totals.ns[i]) / 1e6);
+            prof_report.add(name + "_calls", prof_totals.calls[i]);
+            total_ns += prof_totals.ns[i];
+        }
+        prof_report.add("total_ms", static_cast<double>(total_ns) / 1e6);
+        prof_report.add("events_executed", machine_.eq.executed());
+        result.report.merge("profile.", prof_report);
+    }
 
     return result;
 }

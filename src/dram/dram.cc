@@ -1,6 +1,7 @@
 #include "dram/dram.hh"
 
 #include "common/log.hh"
+#include "common/profiler.hh"
 
 namespace tempo {
 
@@ -16,6 +17,7 @@ DramResult
 DramDevice::access(Addr paddr, bool is_write, bool is_prefetch, AppId app,
                    Cycle when, Cycle hold_for)
 {
+    prof::Scope prof_scope(prof::Component::Dram);
     const DramCoord coord = map_.decode(paddr);
     Bank &bank = banks_[coord.flatBank(cfg_)];
     const unsigned segment =

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/profiler.hh"
 
 namespace tempo {
 
@@ -27,6 +28,7 @@ MemoryController::MemoryController(EventQueue &eq, DramDevice &dram,
 void
 MemoryController::submit(MemRequest req)
 {
+    prof::Scope prof_scope(prof::Component::Mc);
     const unsigned ch = dram_.map().decode(req.paddr).channel;
     Channel &channel = channels_[ch];
 
@@ -61,6 +63,7 @@ MemoryController::scheduleKick(unsigned ch, Cycle when)
 void
 MemoryController::kick(unsigned ch)
 {
+    prof::Scope prof_scope(prof::Component::Mc);
     Channel &channel = channels_[ch];
     if (channel.queue.empty())
         return;
@@ -106,15 +109,32 @@ MemoryController::dispatch(unsigned ch, std::size_t idx)
     // One transaction occupies the channel's command/data path per burst.
     channel.busFreeAt = now + dram_.config().tBurst;
 
+    const std::uint32_t slot = parkInFlight(std::move(entry));
     eq_.schedule(result.complete,
-                 [this, entry = std::move(entry), result]() mutable {
-                     completed(std::move(entry), result);
-                 });
+                 [this, slot, result] { completed(slot, result); });
+}
+
+std::uint32_t
+MemoryController::parkInFlight(QueuedRequest entry)
+{
+    if (freeSlot_ == kNoSlot) {
+        inFlight_.push_back(InFlight{std::move(entry), kNoSlot});
+        return static_cast<std::uint32_t>(inFlight_.size() - 1);
+    }
+    const std::uint32_t slot = freeSlot_;
+    freeSlot_ = inFlight_[slot].nextFree;
+    inFlight_[slot].entry = std::move(entry);
+    return slot;
 }
 
 void
-MemoryController::completed(QueuedRequest entry, const DramResult &result)
+MemoryController::completed(std::uint32_t slot, const DramResult &result)
 {
+    prof::Scope prof_scope(prof::Component::Mc);
+    QueuedRequest entry = std::move(inFlight_[slot].entry);
+    inFlight_[slot].nextFree = freeSlot_;
+    freeSlot_ = slot;
+
     const auto kind_idx = static_cast<std::size_t>(entry.req.kind);
     TEMPO_ASSERT(kind_idx < kKinds, "bad kind");
     ++servedCount_[kind_idx];
@@ -172,22 +192,19 @@ MemoryController::firePrefetch(const QueuedRequest &pt_entry, Cycle when)
     ++pfIssued_;
     pendingPrefetch_.try_emplace(lineAddr(target));
 
-    MemRequest pf;
-    pf.paddr = lineAddr(target);
-    pf.isWrite = false;
-    pf.kind = ReqKind::TempoPrefetch;
-    pf.app = pt_entry.req.app;
-
     eq_.schedule(when + cfg_.prefetchEngineDelay,
-                 [this, pf = std::move(pf)]() mutable {
+                 [this, line = lineAddr(target), app = pt_entry.req.app] {
+                     MemRequest pf;
+                     pf.paddr = line;
+                     pf.isWrite = false;
+                     pf.kind = ReqKind::TempoPrefetch;
+                     pf.app = app;
                      submit(std::move(pf));
                  });
 }
 
 bool
-MemoryController::mergeWithPendingPrefetch(Addr line,
-                                           std::function<void(Cycle)>
-                                               waiter)
+MemoryController::mergeWithPendingPrefetch(Addr line, Waiter waiter)
 {
     const auto it = pendingPrefetch_.find(lineAddr(line));
     if (it == pendingPrefetch_.end())

@@ -10,6 +10,7 @@
 #define TEMPO_MC_MEMORY_CONTROLLER_HH
 
 #include <functional>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -67,6 +68,9 @@ class MemoryController
     /** Enqueue @p req now. The onComplete callback fires at completion. */
     void submit(MemRequest req);
 
+    /** Allocation-free waiter for prefetch-merge completion. */
+    using Waiter = InlineFunction<void(Cycle), kCompletionInlineBytes>;
+
     /**
      * Hook invoked when a TEMPO prefetch's data arrives: the system
      * installs the line into the LLC here. Arguments: line paddr, app.
@@ -79,8 +83,7 @@ class MemoryController
      * return true; the caller must then NOT issue a duplicate demand
      * request. Returns false when no such prefetch is pending.
      */
-    bool mergeWithPendingPrefetch(Addr line,
-                                  std::function<void(Cycle)> waiter);
+    bool mergeWithPendingPrefetch(Addr line, Waiter waiter);
 
     // --- Statistics ---
     std::uint64_t served(ReqKind kind) const;
@@ -111,8 +114,13 @@ class MemoryController
     void kick(unsigned ch);
     void scheduleKick(unsigned ch, Cycle when);
     void dispatch(unsigned ch, std::size_t idx);
-    void completed(QueuedRequest entry, const DramResult &result);
+    void completed(std::uint32_t slot, const DramResult &result);
     void firePrefetch(const QueuedRequest &pt_entry, Cycle when);
+
+    /** Park a dispatched transaction until its completion event; the
+     * event captures only (this, slot, result), so it always fits the
+     * queue's inline storage. Slots are recycled through a freelist. */
+    std::uint32_t parkInFlight(QueuedRequest entry);
 
     EventQueue &eq_;
     DramDevice &dram_;
@@ -121,9 +129,17 @@ class MemoryController
     std::vector<Channel> channels_;
     std::uint64_t seq_ = 0;
 
+    static constexpr std::uint32_t kNoSlot =
+        std::numeric_limits<std::uint32_t>::max();
+    struct InFlight {
+        QueuedRequest entry;
+        std::uint32_t nextFree = kNoSlot;
+    };
+    std::vector<InFlight> inFlight_;
+    std::uint32_t freeSlot_ = kNoSlot;
+
     /** In-flight TEMPO prefetch lines -> replays waiting on them. */
-    std::unordered_map<Addr, std::vector<std::function<void(Cycle)>>>
-        pendingPrefetch_;
+    std::unordered_map<Addr, std::vector<Waiter>> pendingPrefetch_;
 
     // Statistics, indexed by ReqKind.
     static constexpr std::size_t kKinds = 6;

@@ -15,8 +15,8 @@
 #define TEMPO_MC_REQUEST_HH
 
 #include <cstdint>
-#include <functional>
 
+#include "common/inline_function.hh"
 #include "common/types.hh"
 
 namespace tempo {
@@ -65,7 +65,14 @@ struct MemResult {
     std::uint8_t rowEvent; //!< RowEvent as integer (hit/miss/conflict)
 };
 
-/** One request into the memory controller. */
+/** Inline capture capacity for completion callbacks: fits the demand
+ * path's (this, context, submit-time) captures without touching the
+ * heap; larger captures (walk-chain continuations) fall back. */
+inline constexpr std::size_t kCompletionInlineBytes = 64;
+
+/** One request into the memory controller. Move-only: the completion
+ * callback is an InlineFunction, so queuing and dispatching a request
+ * never heap-allocates for typical captures. */
 struct MemRequest {
     Addr paddr = 0;
     bool isWrite = false;
@@ -74,7 +81,8 @@ struct MemRequest {
     TempoTag tempo;
 
     /** Invoked when the access completes (may be empty). */
-    std::function<void(const MemResult &)> onComplete;
+    InlineFunction<void(const MemResult &), kCompletionInlineBytes>
+        onComplete;
 };
 
 } // namespace tempo

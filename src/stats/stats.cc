@@ -1,5 +1,6 @@
 #include "stats/stats.hh"
 
+#include <cassert>
 #include <iomanip>
 
 #include "common/log.hh"
@@ -15,6 +16,9 @@ Report::add(const std::string &name, double value)
 void
 Report::add(const std::string &name, std::uint64_t value)
 {
+    // A double holds integers exactly only up to 2^53 (see stats.hh).
+    assert(value <= (std::uint64_t{1} << 53)
+           && "counter exceeds double's exact-integer range");
     entries_.emplace_back(name, static_cast<double>(value));
 }
 

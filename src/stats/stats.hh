@@ -82,9 +82,17 @@ class Histogram
     void
     sample(double v)
     {
-        auto idx = static_cast<std::size_t>(v / bucketWidth_);
-        if (idx >= buckets_.size())
-            idx = buckets_.size() - 1;
+        // Range-check in double BEFORE converting: casting a negative
+        // or out-of-range double to an unsigned integer is undefined
+        // behaviour. Negative samples clamp to bucket 0, oversized
+        // ones to the last bucket.
+        std::size_t idx = 0;
+        if (v > 0.0) {
+            const double scaled = v / bucketWidth_;
+            idx = scaled >= static_cast<double>(buckets_.size())
+                ? buckets_.size() - 1
+                : static_cast<std::size_t>(scaled);
+        }
         ++buckets_[idx];
         ++count_;
     }
@@ -129,6 +137,12 @@ class Report
 {
   public:
     void add(const std::string &name, double value);
+    /**
+     * Stored as double, so integers above 2^53 lose precision (IEEE 754
+     * doubles have a 53-bit significand). Simulator counters stay far
+     * below that — ~9e15, i.e. millions of years of simulated cycles —
+     * and a debug-build assert in stats.cc enforces it.
+     */
     void add(const std::string &name, std::uint64_t value);
 
     /** Merge another report under a prefix ("dram." etc.). */

@@ -53,6 +53,31 @@ TEST(Histogram, BucketsSamples)
     EXPECT_EQ(h.bucket(3), 2u);
 }
 
+TEST(Histogram, NegativeSamplesClampToFirstBucket)
+{
+    // Casting a negative double to std::size_t is UB; sample() must
+    // range-check in double first and clamp below-range values to
+    // bucket 0 (they arise from, e.g., negative latency deltas when a
+    // merged request completes before its nominal issue).
+    Histogram h(10.0, 4);
+    h.sample(-0.5);
+    h.sample(-1e18); // far below any bucket
+    h.sample(5);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.bucket(0), 3u);
+    EXPECT_EQ(h.bucket(1), 0u);
+    EXPECT_EQ(h.bucket(3), 0u);
+}
+
+TEST(Histogram, HugeSamplesClampToLastBucket)
+{
+    // Values whose scaled index exceeds size_t range must also clamp
+    // without ever performing an out-of-range float->int conversion.
+    Histogram h(1.0, 4);
+    h.sample(1e30);
+    EXPECT_EQ(h.bucket(3), 1u);
+}
+
 TEST(Ratio, HandlesZeroDenominator)
 {
     EXPECT_EQ(ratio(std::uint64_t{5}, std::uint64_t{0}), 0.0);

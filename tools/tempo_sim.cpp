@@ -19,6 +19,7 @@
 #include <stdexcept>
 
 #include "cli/options.hh"
+#include "common/profiler.hh"
 #include "core/experiment.hh"
 #include "trace/trace.hh"
 
@@ -39,6 +40,24 @@ workloadFactory(const cli::Options &options, std::uint64_t seed)
     }
     const std::string name = options.workload;
     return [name, seed] { return makeWorkload(name, seed); };
+}
+
+void
+printProfile(const RunResult &result)
+{
+    std::printf("profile (wall-clock, nondeterministic):\n");
+    for (std::size_t i = 0; i < prof::kNumComponents; ++i) {
+        const std::string name =
+            prof::componentName(static_cast<prof::Component>(i));
+        std::printf("  %-9s : %9.2f ms  (%llu scopes)\n", name.c_str(),
+                    result.report.get("profile." + name + "_ms"),
+                    static_cast<unsigned long long>(result.report.get(
+                        "profile." + name + "_calls")));
+    }
+    std::printf("  %-9s : %9.2f ms  (%llu events)\n", "total",
+                result.report.get("profile.total_ms"),
+                static_cast<unsigned long long>(
+                    result.report.get("profile.events_executed")));
 }
 
 void
@@ -78,6 +97,7 @@ main(int argc, char **argv)
     }
 
     const SystemConfig cfg = toConfig(options);
+    prof::setEnabled(options.profile);
 
     if (!options.traceOut.empty()) {
         auto workload = workloadFactory(options, cfg.seed)();
@@ -121,6 +141,15 @@ main(int argc, char **argv)
                     "energy %+.1f%%\n",
                     100.0 * with_tempo.speedupOver(result),
                     100.0 * with_tempo.energySavingOver(result));
+    }
+
+    if (options.profile) {
+        std::printf("\n");
+        printProfile(result);
+        if (options.compare) {
+            std::printf("\n");
+            printProfile(results.back());
+        }
     }
 
     if (options.fullReport) {

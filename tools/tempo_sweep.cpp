@@ -25,6 +25,7 @@
 
 #include "cli/config_file.hh"
 #include "cli/strings.hh"
+#include "common/profiler.hh"
 #include "core/experiment.hh"
 
 namespace {
@@ -41,6 +42,7 @@ struct SweepArgs {
     std::string jsonPath;
     bool tempo = false;
     bool compare = false;
+    bool profile = false;
 };
 
 [[noreturn]] void
@@ -49,7 +51,7 @@ usage(int status)
     std::fputs(
         "usage: tempo_sweep --key SECTION.KEY --values V1,V2,...\n"
         "  [--workload NAME] [--refs N] [--warmup N]\n"
-        "  [--jobs N] [--json PATH]\n"
+        "  [--jobs N] [--json PATH] [--profile]\n"
         "  [--tempo | --compare]\n"
         "Keys are the INI config keys (src/cli/config_file.hh),\n"
         "e.g. dram.row_policy, mc.pt_row_hold, vm.frag.\n"
@@ -89,6 +91,8 @@ parseArgs(int argc, char **argv)
             args.tempo = true;
         else if (arg == "--compare")
             args.compare = true;
+        else if (arg == "--profile")
+            args.profile = true;
         else if (arg == "--help" || arg == "-h")
             usage(0);
         else
@@ -123,6 +127,7 @@ int
 main(int argc, char **argv)
 {
     const SweepArgs args = parseArgs(argc, argv);
+    prof::setEnabled(args.profile);
 
     // One point per value, plus the TEMPO twin when comparing. All
     // points are independent: each builds its own config and workload
