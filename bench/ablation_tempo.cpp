@@ -70,10 +70,10 @@ main()
             points.push_back(
                 tempo::bench::point(variant(v), name, refs()));
     }
+    JsonRecorder json("ablation_tempo");
     const std::vector<tempo::RunResult> results =
         runAll(std::move(points));
 
-    JsonRecorder json("ablation_tempo");
     std::size_t idx = 0;
     for (const std::string &name : names) {
         const tempo::RunResult &base = results[idx++];

@@ -13,6 +13,14 @@
  * every bench records its points into a machine-readable
  * BENCH_<name>.json file (tempo-bench-1 schema, see src/stats/json.hh)
  * in the working directory — or $TEMPO_BENCH_JSON_DIR when set.
+ *
+ * Fault isolation: a point that throws or exceeds TEMPO_POINT_TIMEOUT
+ * seconds is reported on stderr and in the JSON failures array while
+ * every other point completes (TEMPO_RETRIES re-runs failures with a
+ * reseeded workload). With TEMPO_BENCH_CHECKPOINT_DIR set, single-app
+ * batches journal completed points to CKPT_<name>.jsonl there and a
+ * re-run resumes, skipping what already finished; the resumed output
+ * is byte-identical to an uninterrupted run.
  */
 
 #ifndef TEMPO_BENCH_BENCH_COMMON_HH
@@ -106,12 +114,75 @@ point(const SystemConfig &cfg, const std::string &workload,
     return p;
 }
 
+/** The bench name registered by the JsonRecorder constructor; names
+ * the checkpoint journal. Benches run one batch at a time, so one
+ * global is enough. */
+inline std::string &
+currentBenchName()
+{
+    static std::string name;
+    return name;
+}
+
+/** Engine options for a bench batch: fault handling from the
+ * environment, plus a per-bench checkpoint journal when
+ * TEMPO_BENCH_CHECKPOINT_DIR is set. */
+inline ExperimentOptions
+benchOptions()
+{
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    const char *dir = std::getenv("TEMPO_BENCH_CHECKPOINT_DIR");
+    if (dir && !currentBenchName().empty())
+        opts.checkpointPath = std::string(dir) + "/CKPT_"
+            + currentBenchName() + ".jsonl";
+    return opts;
+}
+
+/** Print any captured point failures to stderr. */
+template <typename Result>
+inline void
+reportFailures(const std::vector<Result> &results)
+{
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunStatus &status = results[i].status;
+        if (status.ok())
+            continue;
+        std::fprintf(stderr,
+                     "point %zu: %s after %u attempt(s): %s\n", i,
+                     status.codeName(), status.attempts,
+                     status.error.c_str());
+    }
+}
+
+/** Report lookup that tolerates failed points, whose zeroed results
+ * carry an empty report: absent keys read 0. */
+inline double
+rget(const RunResult &result, const std::string &key)
+{
+    return result.report.has(key) ? result.report.get(key) : 0.0;
+}
+
 /** Run all @p points concurrently; results come back in point order,
- * bit-identical to a serial run. */
+ * bit-identical to a serial run. Failures are captured per point
+ * (reported on stderr and in the bench JSON), not thrown. */
 inline std::vector<RunResult>
 runAll(std::vector<ExperimentPoint> points)
 {
-    return runExperiments(points, 0);
+    std::vector<RunResult> results =
+        runExperiments(points, benchOptions());
+    reportFailures(results);
+    return results;
+}
+
+/** Multiprogrammed counterpart of runAll() (no checkpointing — mixes
+ * are few and cheap relative to single-app sweeps). */
+inline std::vector<MultiResult>
+runAllMix(const std::vector<MixPoint> &points)
+{
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    std::vector<MultiResult> results = runMixExperiments(points, opts);
+    reportFailures(results);
+    return results;
 }
 
 /**
@@ -148,6 +219,10 @@ class JsonRecorder
     explicit JsonRecorder(std::string bench)
         : bench_(std::move(bench))
     {
+        // Register the bench name so runAll() can derive the
+        // checkpoint journal path; construct the recorder BEFORE the
+        // first batch.
+        currentBenchName() = bench_;
     }
 
     /** Record one finished single-app point. */
@@ -174,6 +249,25 @@ class JsonRecorder
         point.runtimeCycles = runtime_cycles;
         point.counters = std::move(counters);
         points_.push_back(std::move(point));
+    }
+
+    /** Metrics-only point that carries an engine status (failed mix
+     * points record their failure instead of fake metrics). */
+    void
+    addMetrics(const std::string &label,
+               std::vector<std::pair<std::string, std::string>> overrides,
+               std::vector<std::pair<std::string, double>> counters,
+               const RunStatus &status,
+               std::uint64_t runtime_cycles = 0)
+    {
+        addMetrics(label, std::move(overrides), std::move(counters),
+                   runtime_cycles);
+        stats::BenchPoint &point = points_.back();
+        point.status = status.codeName();
+        point.error = status.error;
+        point.attempts = status.attempts;
+        point.seedUsed = status.seedUsed;
+        point.digest = status.digest;
     }
 
     /** Write BENCH_<bench>.json; prints the path on success. */

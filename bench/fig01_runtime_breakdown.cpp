@@ -26,9 +26,9 @@ main()
     std::vector<ExperimentPoint> points;
     for (const std::string &name : names)
         points.push_back(point(cfg, name, refs()));
+    JsonRecorder json("fig01_runtime_breakdown");
     const std::vector<RunResult> results = runAll(std::move(points));
 
-    JsonRecorder json("fig01_runtime_breakdown");
     for (std::size_t i = 0; i < names.size(); ++i) {
         const RunResult &result = results[i];
         const double ptw = result.fracRuntimePtwDram();

@@ -22,9 +22,9 @@ main()
     std::printf("%-10s %8s %8s %14s\n", "workload", "perf%", "energy%",
                 "2MB-coverage%");
     const std::vector<std::string> &names = bigDataWorkloadNames();
+    JsonRecorder json("fig10_perf_energy");
     const std::vector<Pair> pairs =
         runPairs(SystemConfig::skylakeScaled(), names, refs());
-    JsonRecorder json("fig10_perf_energy");
     for (std::size_t i = 0; i < names.size(); ++i) {
         const Pair &pair = pairs[i];
         std::printf("%-10s %8.1f %8.1f %14.1f\n", names[i].c_str(),

@@ -21,9 +21,9 @@ main()
                 "TLB-miss%");
     bool any_harm = false;
     const std::vector<std::string> &names = smallWorkloadNames();
+    JsonRecorder json("fig11_small_footprint");
     const std::vector<Pair> pairs =
         runPairs(SystemConfig::skylakeScaled(), names, refs());
-    JsonRecorder json("fig11_small_footprint");
     for (std::size_t i = 0; i < names.size(); ++i) {
         const Pair &pair = pairs[i];
         const double perf = pair.tempo.speedupOver(pair.base);
@@ -31,7 +31,7 @@ main()
         any_harm |= perf < -0.005 || energy < -0.005;
         std::printf("%-18s %8.1f %8.1f %12.1f\n", names[i].c_str(),
                     pct(perf), pct(energy),
-                    pct(pair.base.report.get("tlb.miss_rate")));
+                    pct(rget(pair.base, "tlb.miss_rate")));
         json.add(names[i], {{"mc.tempo", "false"}}, pair.base);
         json.add(names[i], {{"mc.tempo", "true"}}, pair.tempo);
     }

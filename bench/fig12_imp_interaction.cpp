@@ -48,9 +48,9 @@ main()
         points.push_back(point(imp_cfg, name, n));
         points.push_back(point(imp_tempo_cfg, name, n));
     }
+    JsonRecorder json("fig12_imp_interaction");
     const std::vector<RunResult> results = runAll(std::move(points));
 
-    JsonRecorder json("fig12_imp_interaction");
     for (std::size_t i = 0; i < names.size(); ++i) {
         const Pair plain{results[4 * i], results[4 * i + 1]};
         const Pair with_imp{results[4 * i + 2], results[4 * i + 3]};

@@ -54,9 +54,9 @@ main()
             points.push_back(point(tempo_cfg, name, refs()));
         }
     }
+    JsonRecorder json("fig13_superpages");
     const std::vector<RunResult> results = runAll(std::move(points));
 
-    JsonRecorder json("fig13_superpages");
     std::size_t idx = 0;
     for (const std::string &name : names) {
         std::printf("%s:\n", name.c_str());

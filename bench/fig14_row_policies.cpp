@@ -37,9 +37,9 @@ main()
             points.push_back(point(tempo_cfg, name, refs()));
         }
     }
+    JsonRecorder json("fig14_row_policies");
     const std::vector<RunResult> results = runAll(std::move(points));
 
-    JsonRecorder json("fig14_row_policies");
     std::size_t idx = 0;
     for (const std::string &name : names) {
         double benefit[3];

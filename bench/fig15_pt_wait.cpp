@@ -38,9 +38,9 @@ main()
             points.push_back(point(cfg, name, refs()));
         }
     }
+    JsonRecorder json("fig15_pt_wait");
     const std::vector<RunResult> results = runAll(std::move(points));
 
-    JsonRecorder json("fig15_pt_wait");
     std::size_t idx = 0;
     for (const std::string &name : names) {
         const RunResult &base = results[idx++];

@@ -34,20 +34,25 @@ main()
     for (const auto &mix : mixes)
         alone.push_back(aloneRuntimes(bliss_cfg, mix, per_app));
 
-    // Baseline mixes run together as one parallel batch.
+    JsonRecorder json("fig16_bliss");
+
+    // Baseline mixes run together as one parallel batch. A failed mix
+    // contributes zero metrics (its status lands in the JSON).
     std::vector<MixPoint> base_points;
     for (const auto &mix : mixes)
         base_points.push_back(
             MixPoint{mix, bliss_cfg, per_app, 0});
     const std::vector<MultiResult> base_results =
-        runMixExperiments(base_points);
+        runAllMix(base_points);
     std::vector<FairnessPoint> baseline;
-    for (std::size_t m = 0; m < mixes.size(); ++m)
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const MultiResult &result = base_results[m];
         baseline.push_back(
-            FairnessPoint{base_results[m].weightedSpeedup(alone[m]),
-                          base_results[m].maxSlowdown(alone[m])});
-
-    JsonRecorder json("fig16_bliss");
+            result.status.ok()
+                ? FairnessPoint{result.weightedSpeedup(alone[m]),
+                                result.maxSlowdown(alone[m])}
+                : FairnessPoint{0, 0});
+    }
 
     auto sweep = [&](const char *title, const char *key,
                      auto config_for, const std::vector<unsigned> &xs) {
@@ -60,27 +65,32 @@ main()
             for (const auto &mix : mixes)
                 points.push_back(
                     MixPoint{mix, config_for(x), per_app, 0});
-        const std::vector<MultiResult> results =
-            runMixExperiments(points);
+        const std::vector<MultiResult> results = runAllMix(points);
         for (std::size_t xi = 0; xi < xs.size(); ++xi) {
             double ws = 0, slow = 0;
             for (std::size_t m = 0; m < mixes.size(); ++m) {
                 const MultiResult &result =
                     results[xi * mixes.size() + m];
-                const FairnessPoint point{
-                    result.weightedSpeedup(alone[m]),
-                    result.maxSlowdown(alone[m])};
-                ws += point.weightedSpeedup
-                    / baseline[m].weightedSpeedup - 1.0;
-                slow += 1.0
-                    - point.maxSlowdown / baseline[m].maxSlowdown;
+                const FairnessPoint point =
+                    result.status.ok()
+                        ? FairnessPoint{
+                              result.weightedSpeedup(alone[m]),
+                              result.maxSlowdown(alone[m])}
+                        : FairnessPoint{0, 0};
+                if (result.status.ok()
+                    && baseline[m].weightedSpeedup > 0) {
+                    ws += point.weightedSpeedup
+                        / baseline[m].weightedSpeedup - 1.0;
+                    slow += 1.0
+                        - point.maxSlowdown / baseline[m].maxSlowdown;
+                }
                 json.addMetrics(
                     "mix" + std::to_string(m),
                     {{key, std::to_string(xs[xi])},
                      {"mc.tempo", "true"}},
                     {{"weighted_speedup", point.weightedSpeedup},
                      {"max_slowdown", point.maxSlowdown}},
-                    result.runtime);
+                    result.status, result.runtime);
             }
             std::printf("%6u %20.2f %20.2f\n", xs[xi],
                         pct(ws / mixes.size()),
@@ -93,7 +103,7 @@ main()
             "mix" + std::to_string(m), {{"mc.tempo", "false"}},
             {{"weighted_speedup", baseline[m].weightedSpeedup},
              {"max_slowdown", baseline[m].maxSlowdown}},
-            base_results[m].runtime);
+            base_results[m].status, base_results[m].runtime);
     }
 
     sweep("left: prefetch counter weight (demand weight = 2)",

@@ -42,19 +42,22 @@ main()
             base_points.push_back(
                 MixPoint{mix, base_cfg, per_app, 0});
         const std::vector<MultiResult> base_results =
-            runMixExperiments(base_points);
+            runAllMix(base_points);
         std::vector<FairnessPoint> baseline;
         for (std::size_t m = 0; m < mixes.size(); ++m) {
-            baseline.push_back(FairnessPoint{
-                base_results[m].weightedSpeedup(alone[m]),
-                base_results[m].maxSlowdown(alone[m])});
+            const MultiResult &result = base_results[m];
+            baseline.push_back(
+                result.status.ok()
+                    ? FairnessPoint{result.weightedSpeedup(alone[m]),
+                                    result.maxSlowdown(alone[m])}
+                    : FairnessPoint{0, 0});
             json.addMetrics(
                 "mix" + std::to_string(m),
                 {{"mc.subrow", subRowAllocName(alloc)},
                  {"mc.tempo", "false"}},
                 {{"weighted_speedup", baseline[m].weightedSpeedup},
                  {"max_slowdown", baseline[m].maxSlowdown}},
-                base_results[m].runtime);
+                result.status, result.runtime);
         }
 
         // All (dedication, mix) combinations as one parallel batch.
@@ -65,8 +68,7 @@ main()
             for (const auto &mix : mixes)
                 points.push_back(MixPoint{mix, cfg, per_app, 0});
         }
-        const std::vector<MultiResult> results =
-            runMixExperiments(points);
+        const std::vector<MultiResult> results = runAllMix(points);
 
         std::printf("%12s %20s %20s\n", "dedicated",
                     "d-weighted-speedup%", "d-max-slowdown%");
@@ -75,13 +77,19 @@ main()
             for (std::size_t m = 0; m < mixes.size(); ++m) {
                 const MultiResult &result =
                     results[d * mixes.size() + m];
-                const FairnessPoint point{
-                    result.weightedSpeedup(alone[m]),
-                    result.maxSlowdown(alone[m])};
-                ws += point.weightedSpeedup
-                    / baseline[m].weightedSpeedup - 1.0;
-                slow += 1.0
-                    - point.maxSlowdown / baseline[m].maxSlowdown;
+                const FairnessPoint point =
+                    result.status.ok()
+                        ? FairnessPoint{
+                              result.weightedSpeedup(alone[m]),
+                              result.maxSlowdown(alone[m])}
+                        : FairnessPoint{0, 0};
+                if (result.status.ok()
+                    && baseline[m].weightedSpeedup > 0) {
+                    ws += point.weightedSpeedup
+                        / baseline[m].weightedSpeedup - 1.0;
+                    slow += 1.0
+                        - point.maxSlowdown / baseline[m].maxSlowdown;
+                }
                 json.addMetrics(
                     "mix" + std::to_string(m),
                     {{"mc.subrow", subRowAllocName(alloc)},
@@ -90,7 +98,7 @@ main()
                      {"mc.tempo", "true"}},
                     {{"weighted_speedup", point.weightedSpeedup},
                      {"max_slowdown", point.maxSlowdown}},
-                    result.runtime);
+                    result.status, result.runtime);
             }
             std::printf("%12u %20.2f %20.2f\n", dedications[d],
                         pct(ws / mixes.size()),

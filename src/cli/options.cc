@@ -68,6 +68,12 @@ usage()
         "  --seed N            RNG seed (default 42)\n"
         "  --jobs N            worker threads for --compare runs\n"
         "                      (default: all cores, or TEMPO_JOBS)\n"
+        "  --retries N         re-run a failed point up to N times with\n"
+        "                      a reseeded workload (default 0)\n"
+        "  --point-timeout S   mark a point timed_out after S seconds\n"
+        "                      of wall-clock time (default: none)\n"
+        "  --checkpoint PATH   journal completed points to PATH and\n"
+        "                      skip them when re-run after a crash\n"
         "  --full-report       dump every statistic\n"
         "  --csv PATH          write the full report as CSV\n"
         "  --json PATH         write results as tempo-bench-1 JSON\n"
@@ -146,6 +152,16 @@ parse(const std::vector<std::string> &args)
         } else if (arg == "--jobs") {
             options.jobs =
                 static_cast<unsigned>(parseU64(arg, next("--jobs")));
+        } else if (arg == "--retries") {
+            options.retries =
+                static_cast<unsigned>(parseU64(arg, next("--retries")));
+        } else if (arg == "--point-timeout") {
+            options.pointTimeout =
+                parseDouble(arg, next("--point-timeout"));
+            if (options.pointTimeout < 0)
+                bad("--point-timeout must be >= 0");
+        } else if (arg == "--checkpoint") {
+            options.checkpointPath = next("--checkpoint");
         } else if (arg == "--full-report") {
             options.fullReport = true;
         } else if (arg == "--csv") {

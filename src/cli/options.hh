@@ -33,6 +33,12 @@ struct Options {
     /** Worker threads for parallel runs (--compare); 0 = all cores
      * (or the TEMPO_JOBS env var). */
     unsigned jobs = 0;
+    /** Extra attempts for a failed/timed-out point (reseeded). */
+    unsigned retries = 0;
+    /** Per-point wall-clock budget in seconds; 0 = no watchdog. */
+    double pointTimeout = 0;
+    /** Completed-point journal for kill/resume; "" = off. */
+    std::string checkpointPath;
     bool fullReport = false;
     std::string csvPath;    //!< write the full report as CSV here
     std::string jsonPath;   //!< write results as tempo-bench-1 JSON

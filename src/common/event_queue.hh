@@ -34,6 +34,7 @@
 #include "common/inline_function.hh"
 #include "common/log.hh"
 #include "common/types.hh"
+#include "common/watchdog.hh"
 
 namespace tempo {
 
@@ -126,12 +127,14 @@ class EventQueue
         return true;
     }
 
-    /** Run until the queue drains. */
+    /** Run until the queue drains. Polls the per-thread watchdog so a
+     * runaway simulation can be cancelled by wall-clock deadline (the
+     * disarmed fast path is a thread-local decrement). */
     void
     runAll()
     {
-        while (step()) {
-        }
+        while (step())
+            watchdog::poll();
     }
 
     /** Run all events with time <= @p until; advances now() to @p until. */

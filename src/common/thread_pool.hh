@@ -15,6 +15,13 @@
  * produces bit-identical results regardless of thread count or
  * scheduling order. parallelFor() writes results by index, never by
  * completion order.
+ *
+ * Fault handling: the pool itself only offers fail-fast semantics —
+ * wait() rethrows the first task exception after every task has run.
+ * Per-point fault isolation (capturing a failure into the point's own
+ * result instead of aborting the sweep) lives one layer up, in
+ * core/experiment's exception barrier; tasks submitted through the
+ * engine never leak exceptions into wait().
  */
 
 #ifndef TEMPO_COMMON_THREAD_POOL_HH

@@ -1,0 +1,79 @@
+#include "common/watchdog.hh"
+
+#include <chrono>
+#include <limits>
+#include <sstream>
+
+namespace tempo::watchdog {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string
+describe(double budget_seconds)
+{
+    std::ostringstream os;
+    os << "point exceeded its wall-clock budget of " << budget_seconds
+       << "s";
+    return os.str();
+}
+
+thread_local bool armedFlag = false;
+thread_local Clock::time_point deadline{};
+thread_local double budgetSeconds = 0;
+
+} // namespace
+
+namespace detail {
+
+thread_local std::uint32_t countdown = kPollStride;
+
+void
+slowPoll()
+{
+    countdown = kPollStride;
+    if (armedFlag && Clock::now() >= deadline) {
+        const double budget = budgetSeconds;
+        disarm();
+        throw PointTimedOut(budget);
+    }
+}
+
+} // namespace detail
+
+PointTimedOut::PointTimedOut(double budget_seconds)
+    : std::runtime_error(describe(budget_seconds)),
+      budgetSeconds_(budget_seconds)
+{
+}
+
+void
+arm(double budget_seconds)
+{
+    if (budget_seconds <= 0) {
+        disarm();
+        return;
+    }
+    armedFlag = true;
+    budgetSeconds = budget_seconds;
+    deadline = Clock::now()
+        + std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(budget_seconds));
+    detail::countdown = detail::kPollStride;
+}
+
+void
+disarm()
+{
+    armedFlag = false;
+    detail::countdown = detail::kPollStride;
+}
+
+bool
+armed()
+{
+    return armedFlag;
+}
+
+} // namespace tempo::watchdog

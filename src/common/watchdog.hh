@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A per-thread wall-clock watchdog for runaway simulation points.
+ *
+ * The experiment engine runs each (workload, config) point wholly on
+ * one worker thread, so a point that spins forever would otherwise
+ * occupy its worker until the process is killed — and take every
+ * completed point's results with it. The engine arms this watchdog
+ * before an attempt and the event loop polls it; when the deadline
+ * passes, poll() throws PointTimedOut, which unwinds the attempt
+ * through the engine's exception barrier and frees the worker. Nothing
+ * outside the timed-out point is disturbed.
+ *
+ * poll() is called once per executed event, so its fast path must be
+ * nearly free: a thread-local counter decrement. Only every
+ * kPollStride-th call touches the clock. All state is thread-local —
+ * arming on one thread never affects another, matching the engine's
+ * one-point-per-worker execution model.
+ */
+
+#ifndef TEMPO_COMMON_WATCHDOG_HH
+#define TEMPO_COMMON_WATCHDOG_HH
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace tempo::watchdog {
+
+/** Thrown from poll() when the armed deadline has passed. */
+class PointTimedOut : public std::runtime_error
+{
+  public:
+    explicit PointTimedOut(double budget_seconds);
+
+    /** The budget that was exceeded, as passed to arm(). */
+    double budgetSeconds() const { return budgetSeconds_; }
+
+  private:
+    double budgetSeconds_;
+};
+
+namespace detail {
+
+/** Clock checks happen every this many poll() calls; between checks
+ * the cost is one thread-local decrement and branch. */
+inline constexpr std::uint32_t kPollStride = 8192;
+
+extern thread_local std::uint32_t countdown;
+
+/** Checks the deadline (or, when disarmed, just rewinds the counter). */
+void slowPoll();
+
+} // namespace detail
+
+/**
+ * Arm the calling thread's watchdog: poll() on this thread throws
+ * PointTimedOut once @p budget_seconds of wall-clock time elapse.
+ * Budgets <= 0 disarm instead.
+ */
+void arm(double budget_seconds);
+
+/** Disarm the calling thread's watchdog. Idempotent. */
+void disarm();
+
+/** True when the calling thread has an armed deadline. */
+bool armed();
+
+/** Cheap cancellation point; sprinkled into the simulation main loop. */
+inline void
+poll()
+{
+    if (--detail::countdown == 0)
+        detail::slowPoll();
+}
+
+} // namespace tempo::watchdog
+
+#endif // TEMPO_COMMON_WATCHDOG_HH

@@ -1,0 +1,247 @@
+#include "core/checkpoint.hh"
+
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace tempo {
+
+namespace {
+
+using stats::Json;
+using stats::JsonValue;
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::uint64_t
+parseHex16(const std::string &text)
+{
+    std::uint64_t out = 0;
+    const auto [p, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), out, 16);
+    if (ec != std::errc() || p != text.data() + text.size())
+        throw std::runtime_error("journal: bad digest " + text);
+    return out;
+}
+
+/**
+ * One field-visitor enumerates CoreStats for both encode and decode so
+ * the two cannot drift apart. The visitor receives (name, reference);
+ * doubles and uint64s are distinguished by overload.
+ */
+template <typename Stats, typename Fn>
+void
+visitCoreStats(Stats &s, Fn &&fn)
+{
+    fn("refs", s.refs);
+    fn("page_faults", s.pageFaults);
+    fn("walks", s.walks);
+    fn("pt_dram_accesses", s.ptDramAccesses);
+    fn("leaf_pt_dram_accesses", s.leafPtDramAccesses);
+    fn("walks_with_leaf_dram", s.walksWithLeafDram);
+    fn("pt_dram_l0", s.ptDramByLevel[0]);
+    fn("pt_dram_l1", s.ptDramByLevel[1]);
+    fn("pt_dram_l2", s.ptDramByLevel[2]);
+    fn("pt_dram_l3", s.ptDramByLevel[3]);
+    fn("pt_dram_l4", s.ptDramByLevel[4]);
+    fn("leaf_pt_l1_hits", s.leafPtL1Hits);
+    fn("leaf_pt_l2_hits", s.leafPtL2Hits);
+    fn("leaf_pt_llc_hits", s.leafPtLlcHits);
+    fn("replay_dram_accesses", s.replayDramAccesses);
+    fn("regular_dram_accesses", s.regularDramAccesses);
+    fn("replay_after_dram_walk", s.replayAfterDramWalk);
+    fn("replay_dram_after_dram_walk", s.replayDramAfterDramWalk);
+    fn("replay_llc_hits", s.replayLlcHits);
+    fn("replay_private_hits", s.replayPrivateHits);
+    fn("replay_merged", s.replayMerged);
+    fn("replay_row_hits", s.replayRowHits);
+    fn("replay_array", s.replayArray);
+    fn("pt_mshr_merges", s.ptMshrMerges);
+    fn("data_mshr_merges", s.dataMshrMerges);
+    fn("imp_issued", s.impIssued);
+    fn("stride_issued", s.strideIssued);
+    fn("imp_dropped_inflight", s.impDroppedInflight);
+    fn("imp_faults", s.impFaults);
+    fn("tlb_prefetches", s.tlbPrefetches);
+    fn("cycles_ptw_dram", s.cyclesPtwDram);
+    fn("cycles_replay_dram", s.cyclesReplayDram);
+    fn("cycles_other_dram", s.cyclesOtherDram);
+    fn("cycles_total", s.cyclesTotal);
+    fn("last_finish", s.lastFinish);
+}
+
+struct CoreEncoder {
+    Json &obj;
+    void operator()(const char *name, std::uint64_t v) { obj.set(name, v); }
+    void operator()(const char *name, double v) { obj.set(name, v); }
+};
+
+struct CoreDecoder {
+    const JsonValue &obj;
+    void
+    operator()(const char *name, std::uint64_t &v)
+    {
+        v = obj.at(name).asUint64();
+    }
+    void
+    operator()(const char *name, double &v)
+    {
+        v = obj.at(name).asDouble();
+    }
+};
+
+} // namespace
+
+stats::Json
+encodeRunResult(const RunResult &result)
+{
+    Json doc = Json::object();
+    doc.set("runtime", result.runtime);
+
+    Json energy = Json::object();
+    energy.set("core_static", result.energy.coreStatic);
+    energy.set("dram_static", result.energy.dramStatic);
+    energy.set("dram_dynamic", result.energy.dramDynamic);
+    energy.set("mc_dynamic", result.energy.mcDynamic);
+    doc.set("energy", std::move(energy));
+
+    Json core = Json::object();
+    CoreEncoder enc{core};
+    visitCoreStats(result.core, enc);
+    doc.set("core", std::move(core));
+
+    doc.set("superpage_coverage", result.superpageCoverage);
+    doc.set("coverage_2m", result.coverage2M);
+    doc.set("coverage_1g", result.coverage1G);
+    doc.set("dram_ptw", result.dramPtw);
+    doc.set("dram_replay", result.dramReplay);
+    doc.set("dram_other", result.dramOther);
+
+    // The report is ordered name/value pairs; order matters (it is the
+    // emission order of "report.*" counters in the bench JSON).
+    Json report = Json::array();
+    for (const auto &[name, value] : result.report.entries()) {
+        Json entry = Json::array();
+        entry.push(name);
+        entry.push(value);
+        report.push(std::move(entry));
+    }
+    doc.set("report", std::move(report));
+    return doc;
+}
+
+RunResult
+decodeRunResult(const stats::JsonValue &value)
+{
+    RunResult result;
+    result.runtime = value.at("runtime").asUint64();
+
+    const JsonValue &energy = value.at("energy");
+    result.energy.coreStatic = energy.at("core_static").asDouble();
+    result.energy.dramStatic = energy.at("dram_static").asDouble();
+    result.energy.dramDynamic = energy.at("dram_dynamic").asDouble();
+    result.energy.mcDynamic = energy.at("mc_dynamic").asDouble();
+
+    CoreDecoder dec{value.at("core")};
+    visitCoreStats(result.core, dec);
+
+    result.superpageCoverage = value.at("superpage_coverage").asDouble();
+    result.coverage2M = value.at("coverage_2m").asDouble();
+    result.coverage1G = value.at("coverage_1g").asDouble();
+    result.dramPtw = value.at("dram_ptw").asUint64();
+    result.dramReplay = value.at("dram_replay").asUint64();
+    result.dramOther = value.at("dram_other").asUint64();
+
+    const JsonValue &report = value.at("report");
+    if (report.kind != JsonValue::Kind::Array)
+        throw std::runtime_error("journal: report is not an array");
+    for (const JsonValue &entry : report.elements) {
+        if (entry.kind != JsonValue::Kind::Array ||
+            entry.elements.size() != 2)
+            throw std::runtime_error("journal: bad report entry");
+        result.report.add(entry.elements[0].asString(),
+                          entry.elements[1].asDouble());
+    }
+    return result;
+}
+
+SweepJournal::SweepJournal(std::string path) : path_(std::move(path))
+{
+    // Load whatever is already there. Any malformed line — in practice
+    // only the truncated tail a kill leaves — ends the useful prefix.
+    std::ifstream in(path_, std::ios::binary);
+    bool clean = true;
+    std::uintmax_t good_end = 0;
+    if (in) {
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty()) {
+                good_end += 1;
+                continue;
+            }
+            try {
+                const JsonValue doc = stats::parseJson(line);
+                const std::uint64_t digest =
+                    parseHex16(doc.at("digest").asString());
+                RunResult result = decodeRunResult(doc.at("result"));
+                result.status.attempts =
+                    static_cast<unsigned>(doc.at("attempts").asUint64());
+                result.status.seedUsed = doc.at("seed").asUint64();
+                result.status.digest = digest;
+                loaded_[digest] = std::move(result);
+            } catch (const std::exception &) {
+                clean = false;
+                break;
+            }
+            good_end += line.size() + 1;
+        }
+        in.close();
+        // Drop the broken tail before appending: a new record written
+        // right after a half line would corrupt BOTH on the next load.
+        if (!clean)
+            std::filesystem::resize_file(path_, good_end);
+    }
+    out_.open(path_, std::ios::app);
+    if (!out_)
+        throw std::runtime_error("cannot open checkpoint journal " +
+                                 path_);
+}
+
+bool
+SweepJournal::restore(std::uint64_t digest, RunResult &out) const
+{
+    const auto it = loaded_.find(digest);
+    if (it == loaded_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+void
+SweepJournal::record(std::uint64_t digest, const RunResult &result)
+{
+    Json doc = Json::object();
+    doc.set("v", std::uint64_t(1));
+    doc.set("digest", hex16(digest));
+    doc.set("attempts", std::uint64_t(result.status.attempts));
+    doc.set("seed", result.status.seedUsed);
+    doc.set("result", encodeRunResult(result));
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    doc.writeCompact(out_);
+    out_ << '\n';
+    out_.flush();
+    if (!out_)
+        throw std::runtime_error("short write to checkpoint journal " +
+                                 path_);
+}
+
+} // namespace tempo

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Sweep checkpointing: a JSONL journal of completed experiment points,
+ * so an interrupted sweep resumes without re-simulating what already
+ * finished.
+ *
+ * Format: one line per completed point,
+ *
+ *   {"v": 1, "digest": "<16-hex pointDigest>", "attempts": <uint>,
+ *    "seed": <uint>, "result": { <full RunResult encoding> }}
+ *
+ * Only ok points are journaled. Failures are deliberately re-run on
+ * resume: a deterministic failure reproduces (so the merged output —
+ * including the failures array — is byte-identical to an uninterrupted
+ * run), and a transient one gets another chance. The reader tolerates
+ * a truncated final line, which is exactly what a kill mid-append
+ * leaves behind; everything before it is still used.
+ *
+ * The journal stores the complete RunResult (every CoreStats counter
+ * and every report entry), not just the flattened BenchPoint, so both
+ * the bench text tables and the JSON reproduce exactly from a restore.
+ */
+
+#ifndef TEMPO_CORE_CHECKPOINT_HH
+#define TEMPO_CORE_CHECKPOINT_HH
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/tempo_system.hh"
+#include "stats/json.hh"
+
+namespace tempo {
+
+/** Encode a finished run for the journal (everything but the
+ * exception_ptr, which cannot cross a process boundary). */
+stats::Json encodeRunResult(const RunResult &result);
+
+/**
+ * Rebuild a RunResult from encodeRunResult() output.
+ * @throws std::runtime_error on schema mismatch.
+ */
+RunResult decodeRunResult(const stats::JsonValue &value);
+
+/**
+ * The append-only journal. Construction loads whatever complete lines
+ * an existing file holds (ignoring a truncated tail), then reopens it
+ * for appending. record() is thread-safe and flushes per point, so a
+ * kill loses at most the line being written.
+ */
+class SweepJournal
+{
+  public:
+    explicit SweepJournal(std::string path);
+
+    /** Restore the journaled result for @p digest; false if absent. */
+    bool restore(std::uint64_t digest, RunResult &out) const;
+
+    /** Append one completed ok point. */
+    void record(std::uint64_t digest, const RunResult &result);
+
+    /** Points loaded from a pre-existing file. */
+    std::size_t loadedCount() const { return loaded_.size(); }
+
+  private:
+    std::string path_;
+    std::map<std::uint64_t, RunResult> loaded_;
+    std::ofstream out_;
+    std::mutex mutex_;
+};
+
+} // namespace tempo
+
+#endif // TEMPO_CORE_CHECKPOINT_HH

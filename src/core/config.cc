@@ -1,6 +1,164 @@
 #include "core/config.hh"
 
+#include <bit>
+
 namespace tempo {
+
+namespace {
+
+/** FNV-1a accumulator for the config digest. Doubles are hashed by
+ * bit pattern, so any representable change to a knob changes the
+ * digest and two equal configs always agree. */
+struct Fnv1a {
+    std::uint64_t state = 1469598103934665603ull;
+
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            state ^= p[i];
+            state *= 1099511628211ull;
+        }
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        bytes(&v, sizeof(v));
+    }
+
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    template <typename E>
+    void
+    e(E v)
+    {
+        u64(static_cast<std::uint64_t>(v));
+    }
+};
+
+void
+hashCacheLevel(Fnv1a &h, const CacheLevelConfig &c)
+{
+    h.u64(c.sizeBytes);
+    h.u64(c.assoc);
+    h.u64(c.latency);
+}
+
+} // namespace
+
+std::uint64_t
+SystemConfig::digest() const
+{
+    // Every knob of every substrate feeds the hash. A new config field
+    // must be added here, or two configs differing only in that field
+    // would share a digest and a sweep checkpoint could restore a
+    // stale point for it (see core/checkpoint.hh).
+    Fnv1a h;
+
+    h.u64(tlb.l1Entries4K);
+    h.u64(tlb.l1Assoc4K);
+    h.u64(tlb.l1Entries2M);
+    h.u64(tlb.l1Assoc2M);
+    h.u64(tlb.l1Entries1G);
+    h.u64(tlb.l1Assoc1G);
+    h.u64(tlb.l2Entries);
+    h.u64(tlb.l2Assoc);
+    h.u64(tlb.l1Latency);
+    h.u64(tlb.l2Latency);
+
+    h.u64(mmu.entriesPerLevel);
+    h.u64(mmu.assoc);
+    h.u64(mmu.latency);
+
+    hashCacheLevel(h, caches.l1);
+    hashCacheLevel(h, caches.l2);
+    hashCacheLevel(h, caches.llc);
+
+    h.u64(dram.channels);
+    h.u64(dram.ranksPerChannel);
+    h.u64(dram.banksPerRank);
+    h.u64(dram.rowBufferBytes);
+    h.e(dram.rowPolicy);
+    h.e(dram.subRowAlloc);
+    h.u64(dram.subRowCount);
+    h.u64(dram.subRowsForPrefetch);
+    h.u64(dram.tRCD);
+    h.u64(dram.tRP);
+    h.u64(dram.tCAS);
+    h.u64(dram.tBurst);
+    h.u64(dram.tRAS);
+    h.e(dram.refreshEnabled);
+    h.u64(dram.tREFI);
+    h.u64(dram.tRFC);
+    h.f64(dram.eAct);
+    h.f64(dram.ePre);
+    h.f64(dram.eColRead);
+    h.f64(dram.eColWrite);
+    h.f64(dram.eRefresh);
+    h.f64(dram.pStatic);
+    h.u64(dram.predictorSets);
+    h.u64(dram.predictorWays);
+
+    h.e(mc.sched);
+    h.e(mc.tempoEnabled);
+    h.e(mc.tempoLlcFill);
+    h.u64(mc.tempoPtRowHold);
+    h.u64(mc.tempoGracePeriod);
+    h.e(mc.tempoGrouping);
+    h.u64(mc.prefetchEngineDelay);
+    h.u64(mc.prefetchDropDepth);
+    h.u64(mc.scheduler.starvationLimit);
+    h.e(mc.scheduler.tempoGrouping);
+    h.u64(mc.scheduler.blissThreshold);
+    h.u64(mc.scheduler.blissClearInterval);
+    h.u64(mc.scheduler.blissNormalWeight);
+    h.u64(mc.scheduler.blissPrefetchWeight);
+    h.e(mc.scheduler.blissTempoAffinity);
+
+    h.u64(os.physBytes);
+    h.f64(os.fragLevel);
+    h.u64(os.seed);
+
+    h.e(vm.policy);
+    h.f64(vm.thpEligibleFrac);
+    h.f64(vm.hugetlbfs2MFrac);
+    h.f64(vm.hugetlbfs1GFrac);
+    h.u64(vm.seed);
+
+    h.e(imp.enabled);
+    h.u64(imp.prefetchTableEntries);
+    h.u64(imp.ipdEntries);
+    h.u64(imp.maxIndirectLevels);
+    h.u64(imp.prefetchDistance);
+    h.u64(imp.trainThreshold);
+    h.f64(imp.coverage);
+    h.f64(imp.accuracy);
+    h.u64(imp.seed);
+
+    h.e(stride.enabled);
+    h.u64(stride.tableEntries);
+    h.u64(stride.confidenceThreshold);
+    h.u64(stride.degree);
+    h.u64(stride.distance);
+
+    h.f64(energy.corePowerPerCycle);
+    h.f64(energy.mcEnergyPerRequest);
+    h.f64(energy.tempoMcAreaOverhead);
+    h.f64(energy.tempoWalkerAreaOverhead);
+
+    h.u64(mlpWindow);
+    h.e(useWorkloadMlpHint);
+    h.u64(issueGap);
+    h.u64(tlbFillLatency);
+    h.u64(pageFaultLatency);
+    h.u64(impMaxInflight);
+    h.e(tlbPrefetchNext);
+    h.u64(seed);
+
+    return h.state;
+}
 
 SystemConfig
 SystemConfig::skylakeScaled()

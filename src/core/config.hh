@@ -78,6 +78,14 @@ struct SystemConfig {
      */
     static SystemConfig skylakeScaled();
 
+    /**
+     * A stable fingerprint of every configuration knob: two configs
+     * compare equal iff (modulo hash collisions) they digest equally,
+     * across processes and runs of the same build. Keys sweep
+     * checkpoints (core/checkpoint.hh) and failure reports.
+     */
+    std::uint64_t digest() const;
+
     /** Fluent helpers for the benches. */
     SystemConfig &withTempo(bool on);
     SystemConfig &withRowPolicy(RowPolicyKind kind);

@@ -9,12 +9,21 @@
  * produces bit-identical results at any thread count. Callers that want
  * distinct seeds per point derive them with derivedSeed() — never from
  * a shared RNG, whose draw order would depend on scheduling.
+ *
+ * Fault isolation (ISSUE 3): one faulting point must not kill the
+ * sweep. Each point runs behind an exception barrier; whatever it
+ * throws — including a watchdog timeout — is captured into the
+ * result's RunStatus, and every other point still completes. A bounded
+ * retry policy can re-run a failed point with a decorrelated seed, and
+ * a checkpoint journal lets an interrupted sweep resume without
+ * re-simulating finished points (core/checkpoint.hh).
  */
 
 #ifndef TEMPO_CORE_EXPERIMENT_HH
 #define TEMPO_CORE_EXPERIMENT_HH
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,8 +41,10 @@ struct ExperimentPoint {
     SystemConfig config;
     std::uint64_t refs = 0;
     std::uint64_t warmup = 0;
-    /** Workload seed; 0 selects config.seed. */
-    std::uint64_t seed = 0;
+    /** Workload seed override; nullopt selects config.seed. An
+     * explicit 0 is a real seed (historically 0 meant "unset", which
+     * silently made seed 0 unusable). */
+    std::optional<std::uint64_t> seed;
     /** Optional factory override (e.g. trace replay). Must be safe to
      * invoke from a worker thread. */
     std::function<std::unique_ptr<Workload>()> makeWorkloadFn;
@@ -54,17 +65,84 @@ std::uint64_t derivedSeed(std::uint64_t base, std::uint64_t index);
  * var if positive, else all hardware threads. */
 unsigned defaultJobs();
 
+/** Deterministic fault injection for tests and the CI fault-smoke job:
+ * make point @p index throw or hang at the start of its run. */
+struct FaultInjection {
+    enum class Kind {
+        Throw, //!< throw std::runtime_error("injected fault")
+        Hang,  //!< spin (polling the watchdog) until timed out
+    };
+    std::size_t index = 0;
+    Kind kind = Kind::Throw;
+};
+
+/** Knobs of one engine invocation. */
+struct ExperimentOptions {
+    /** Worker threads; 0 = defaultJobs(). */
+    unsigned jobs = 0;
+    /** Extra attempts for a failed/timed-out point. Attempt k > 0
+     * re-runs with derivedSeed(seed, k) so a seed-sensitive crash can
+     * side-step the bad draw; a deterministic bug fails every
+     * attempt. 0 = fail fast (the default: retries change results, so
+     * they are opt-in). */
+    unsigned retries = 0;
+    /** Per-point wall-clock budget in seconds; a point exceeding it is
+     * marked timed_out and its worker freed. 0 = no watchdog. */
+    double pointTimeoutSec = 0;
+    /** Completed-point journal path; "" disables checkpointing. On
+     * start, points whose digest is already journaled are restored
+     * instead of re-run; each newly finished ok point is appended. */
+    std::string checkpointPath;
+    /** Test hook: injected faults (see FaultInjection). */
+    std::vector<FaultInjection> inject;
+    /** Progress callback, invoked under the engine lock as each point
+     * finishes (in completion order, not index order). */
+    std::function<void(std::size_t index, const RunResult &)> onPointDone;
+
+    /**
+     * Environment overrides, applied by the benches so CI can inject
+     * faults without per-binary flags: TEMPO_RETRIES,
+     * TEMPO_POINT_TIMEOUT (seconds), TEMPO_FAULT_INJECT
+     * ("<index>:throw,<index>:hang").
+     */
+    static ExperimentOptions fromEnv();
+};
+
 /**
- * Run all @p points on @p jobs threads (0 = defaultJobs()) and return
- * results in point order. Results are bit-identical for any job count.
- * Exceptions from point construction or execution propagate to the
- * caller (first one wins; remaining points still complete).
+ * A stable identity for a point within a sweep: hashes the workload
+ * name, refs/warmup, seed override, the full config digest, and the
+ * point's index. Keys checkpoint journals and failure reports.
+ */
+std::uint64_t pointDigest(const ExperimentPoint &point, std::size_t index);
+
+/**
+ * Run all @p points and return results in point order, bit-identical
+ * for any job count. Never throws for a point failure: each result's
+ * status records how the point ended, and failed/timed-out results
+ * have every measured field zero. A checkpoint-resumed sweep returns
+ * exactly the bytes an uninterrupted one would.
+ */
+std::vector<RunResult>
+runExperiments(const std::vector<ExperimentPoint> &points,
+               const ExperimentOptions &opts);
+
+/**
+ * Back-compat wrapper: run with default options and rethrow the first
+ * (lowest-index) captured failure, preserving the pre-ISSUE-3
+ * contract that exceptions propagate after all points complete.
  */
 std::vector<RunResult>
 runExperiments(const std::vector<ExperimentPoint> &points,
                unsigned jobs = 0);
 
-/** Multiprogrammed counterpart of runExperiments(). */
+/** Multiprogrammed counterpart of runExperiments(). Fault-isolated
+ * the same way; mixes do not checkpoint (checkpointPath is ignored —
+ * see docs/MODEL.md). */
+std::vector<MultiResult>
+runMixExperiments(const std::vector<MixPoint> &points,
+                  const ExperimentOptions &opts);
+
+/** Back-compat wrapper, rethrows the first captured failure. */
 std::vector<MultiResult>
 runMixExperiments(const std::vector<MixPoint> &points, unsigned jobs = 0);
 
@@ -72,7 +150,8 @@ runMixExperiments(const std::vector<MixPoint> &points, unsigned jobs = 0);
  * Flatten a finished point into the "tempo-bench-1" JSON schema:
  * runtime, the full energy breakdown, and the headline counters
  * (walks, prefetch issue/drop, replay service points, DRAM mix,
- * coverage, TLB miss rate) plus every report entry.
+ * coverage, TLB miss rate) plus every report entry, and the status /
+ * failure fields.
  */
 stats::BenchPoint
 toBenchPoint(const std::string &workload,

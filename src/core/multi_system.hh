@@ -14,6 +14,7 @@
 
 #include "core/energy.hh"
 #include "core/machine.hh"
+#include "core/run_status.hh"
 #include "core/sim_core.hh"
 #include "workloads/workload.hh"
 
@@ -21,6 +22,8 @@ namespace tempo {
 
 /** Result of one multiprogrammed run. */
 struct MultiResult {
+    /** How the point ended (see RunResult::status). */
+    RunStatus status;
     /** Cycle at which each app finished its reference quota. */
     std::vector<Cycle> appFinish;
     Cycle runtime = 0; //!< finish of the slowest app

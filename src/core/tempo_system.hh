@@ -12,6 +12,7 @@
 
 #include "core/energy.hh"
 #include "core/machine.hh"
+#include "core/run_status.hh"
 #include "core/sim_core.hh"
 #include "workloads/workload.hh"
 
@@ -19,6 +20,11 @@ namespace tempo {
 
 /** Everything measured by one single-app run. */
 struct RunResult {
+    /** How the point ended. Results built outside the experiment
+     * engine are always ok; engine results may carry a captured
+     * failure, in which case every other field is zero. */
+    RunStatus status;
+
     Cycle runtime = 0;
     EnergyBreakdown energy;
     CoreStats core;

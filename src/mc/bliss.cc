@@ -71,10 +71,14 @@ BlissScheduler::served(const QueuedRequest &entry, Cycle now)
 
     if (entry.req.app == lastApp_) {
         consecutive_ += weight;
-    } else {
+    } else if (weight > 0) {
         lastApp_ = entry.req.app;
         consecutive_ = weight;
     }
+    // A zero-weight request (prefetch weight 0) from a different app
+    // is invisible to the BLISS counter: it must neither claim stream
+    // ownership nor reset the current app's consecutive count —
+    // otherwise free prefetches would launder a hog's streak.
 
     if (consecutive_ >= cfg_.blissThreshold) {
         if (blacklist_.insert(entry.req.app).second)

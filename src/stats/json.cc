@@ -158,6 +158,341 @@ Json::dump() const
     return os.str();
 }
 
+void
+Json::writeCompact(std::ostream &os) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        os << "null";
+        break;
+      case Kind::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::Uint:
+        os << uint_;
+        break;
+      case Kind::Double:
+        os << formatDouble(double_);
+        break;
+      case Kind::String:
+        os << '"' << jsonEscape(string_) << '"';
+        break;
+      case Kind::Array:
+        os << '[';
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+            if (i)
+                os << ',';
+            elements_[i].writeCompact(os);
+        }
+        os << ']';
+        break;
+      case Kind::Object:
+        os << '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                os << ',';
+            os << '"' << jsonEscape(members_[i].first) << "\":";
+            members_[i].second.writeCompact(os);
+        }
+        os << '}';
+        break;
+    }
+}
+
+std::string
+Json::dumpCompact() const
+{
+    std::ostringstream os;
+    writeCompact(os);
+    return os.str();
+}
+
+namespace {
+
+/** Recursive-descent parser for the subset Json emits. */
+struct Parser {
+    const std::string &text;
+    std::size_t pos = 0;
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("JSON parse error at offset " +
+                                 std::to_string(pos) + ": " + what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        const std::size_t n = std::char_traits<char>::length(word);
+        if (text.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            const char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                fail("unterminated escape");
+            const char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                const auto [p, ec] = std::from_chars(
+                    text.data() + pos, text.data() + pos + 4, code, 16);
+                if (ec != std::errc() || p != text.data() + pos + 4)
+                    fail("bad \\u escape");
+                pos += 4;
+                // The writer only escapes control characters < 0x20;
+                // larger code points pass through raw, so a one-byte
+                // decode covers everything we emit.
+                if (code > 0xff)
+                    fail("unsupported \\u escape beyond U+00FF");
+                out += static_cast<char>(code);
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        JsonValue v;
+        const char c = peek();
+        if (c == '{') {
+            ++pos;
+            v.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (peek() == '}') {
+                ++pos;
+                return v;
+            }
+            while (true) {
+                skipWs();
+                std::string key = parseString();
+                skipWs();
+                expect(':');
+                v.members.emplace_back(std::move(key), parseValue());
+                skipWs();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect('}');
+                return v;
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            v.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (peek() == ']') {
+                ++pos;
+                return v;
+            }
+            while (true) {
+                v.elements.push_back(parseValue());
+                skipWs();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect(']');
+                return v;
+            }
+        }
+        if (c == '"') {
+            v.kind = JsonValue::Kind::String;
+            v.text = parseString();
+            return v;
+        }
+        if (consumeWord("true")) {
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (consumeWord("false")) {
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = false;
+            return v;
+        }
+        if (consumeWord("null"))
+            return v;
+        if (c == '-' || (c >= '0' && c <= '9')) {
+            const std::size_t start = pos;
+            if (c == '-')
+                ++pos;
+            auto digits = [&] {
+                const std::size_t first = pos;
+                while (pos < text.size() && text[pos] >= '0' &&
+                       text[pos] <= '9')
+                    ++pos;
+                if (pos == first)
+                    fail("expected digits");
+            };
+            digits();
+            if (pos < text.size() && text[pos] == '.') {
+                ++pos;
+                digits();
+            }
+            if (pos < text.size() &&
+                (text[pos] == 'e' || text[pos] == 'E')) {
+                ++pos;
+                if (pos < text.size() &&
+                    (text[pos] == '+' || text[pos] == '-'))
+                    ++pos;
+                digits();
+            }
+            v.kind = JsonValue::Kind::Number;
+            v.text = text.substr(start, pos - start);
+            return v;
+        }
+        fail("unexpected character");
+    }
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        throw std::runtime_error("JSON: missing key \"" + key + "\"");
+    return *v;
+}
+
+std::uint64_t
+JsonValue::asUint64() const
+{
+    if (kind != Kind::Number)
+        throw std::runtime_error("JSON: not a number");
+    std::uint64_t out = 0;
+    const auto [p, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), out);
+    if (ec != std::errc() || p != text.data() + text.size())
+        throw std::runtime_error("JSON: not a uint64: " + text);
+    return out;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind != Kind::Number)
+        throw std::runtime_error("JSON: not a number");
+    double out = 0;
+    const auto [p, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), out);
+    if (ec != std::errc() || p != text.data() + text.size())
+        throw std::runtime_error("JSON: not a double: " + text);
+    return out;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind != Kind::String)
+        throw std::runtime_error("JSON: not a string");
+    return text;
+}
+
+JsonValue
+parseJson(const std::string &text)
+{
+    Parser p{text};
+    JsonValue v = p.parseValue();
+    p.skipWs();
+    if (p.pos != text.size())
+        p.fail("trailing garbage");
+    return v;
+}
+
+namespace {
+
+std::string
+hexDigest(std::uint64_t digest)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buf;
+}
+
+Json
+configObject(const BenchPoint &point)
+{
+    Json config = Json::object();
+    for (const auto &[key, value] : point.config)
+        config.set(key, value);
+    return config;
+}
+
+} // namespace
+
 Json
 benchJson(const std::string &bench, std::uint64_t refs,
           std::uint64_t seed, const std::vector<BenchPoint> &points)
@@ -168,14 +503,33 @@ benchJson(const std::string &bench, std::uint64_t refs,
     doc.set("refs", refs);
     doc.set("seed", seed);
 
+    // Experiment counters: a pure function of the points, so resumed
+    // and uninterrupted runs emit identical bytes.
+    std::uint64_t num_ok = 0, num_failed = 0, num_timed_out = 0;
+    std::uint64_t num_retries = 0;
+    for (const BenchPoint &point : points) {
+        if (point.status == "ok")
+            ++num_ok;
+        else if (point.status == "timed_out")
+            ++num_timed_out;
+        else
+            ++num_failed;
+        num_retries += point.attempts > 0 ? point.attempts - 1 : 0;
+    }
+    Json experiment = Json::object();
+    experiment.set("points", std::uint64_t(points.size()));
+    experiment.set("ok", num_ok);
+    experiment.set("failed", num_failed);
+    experiment.set("timed_out", num_timed_out);
+    experiment.set("retries", num_retries);
+    doc.set("experiment", std::move(experiment));
+
     Json point_array = Json::array();
     for (const BenchPoint &point : points) {
         Json p = Json::object();
         p.set("workload", point.workload);
-        Json config = Json::object();
-        for (const auto &[key, value] : point.config)
-            config.set(key, value);
-        p.set("config", std::move(config));
+        p.set("config", configObject(point));
+        p.set("status", point.status);
         p.set("runtime_cycles", point.runtimeCycles);
         Json energy = Json::object();
         for (const auto &[key, value] : point.energy)
@@ -188,6 +542,24 @@ benchJson(const std::string &bench, std::uint64_t refs,
         point_array.push(std::move(p));
     }
     doc.set("points", std::move(point_array));
+
+    Json failures = Json::array();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const BenchPoint &point = points[i];
+        if (point.status == "ok")
+            continue;
+        Json f = Json::object();
+        f.set("point", std::uint64_t(i));
+        f.set("workload", point.workload);
+        f.set("config", configObject(point));
+        f.set("status", point.status);
+        f.set("error", point.error);
+        f.set("attempts", std::uint64_t(point.attempts));
+        f.set("seed", point.seedUsed);
+        f.set("digest", hexDigest(point.digest));
+        failures.push(std::move(f));
+    }
+    doc.set("failures", std::move(failures));
     return doc;
 }
 

@@ -19,16 +19,38 @@
  *     "bench": "<binary or tool name>",
  *     "refs": <measured references per point>,
  *     "seed": <base RNG seed>,
+ *     "experiment": {
+ *       "points": <uint>, "ok": <uint>, "failed": <uint>,
+ *       "timed_out": <uint>, "retries": <uint>
+ *     },
  *     "points": [
  *       {
  *         "workload": "<name or mix label>",
  *         "config": { "<section.key>": "<value>", ... },
+ *         "status": "ok" | "failed" | "timed_out",
  *         "runtime_cycles": <uint>,
  *         "energy": { "core_static": <num>, ..., "total": <num> },
  *         "counters": { "<name>": <num>, ... }
  *       }, ...
+ *     ],
+ *     "failures": [
+ *       {
+ *         "point": <index into points>,
+ *         "workload": "<name>",
+ *         "config": { ... },
+ *         "status": "failed" | "timed_out",
+ *         "error": "<exception what()>",
+ *         "attempts": <uint>,
+ *         "seed": <seed of the final attempt>,
+ *         "digest": "<16-hex-digit point digest>"
+ *       }, ...
  *     ]
  *   }
+ *
+ * The "experiment" and "failures" keys are always present (failures is
+ * [] on a clean run), and every value is a deterministic function of
+ * the points, so emission stays byte-identical across thread counts
+ * and across checkpoint-resumed runs.
  */
 
 #ifndef TEMPO_STATS_JSON_HH
@@ -68,6 +90,11 @@ class Json
     void write(std::ostream &os) const;
     std::string dump() const;
 
+    /** Single-line emission with no whitespace (for JSONL journals).
+     * Same determinism guarantee as write(); no trailing newline. */
+    void writeCompact(std::ostream &os) const;
+    std::string dumpCompact() const;
+
   private:
     enum class Kind { Null, Bool, Uint, Double, String, Array, Object };
 
@@ -85,6 +112,47 @@ class Json
 /** JSON string escaping (quotes not included). */
 std::string jsonEscape(const std::string &raw);
 
+/**
+ * A parsed (read-only) JSON value, the counterpart of Json for reading
+ * back what this module wrote — primarily sweep checkpoint journals.
+ *
+ * Numbers keep their raw token so both integer and floating consumers
+ * get an exact round-trip: asUint64() on "4984" returns exactly 4984,
+ * asDouble() on a shortest-round-trip double token returns the bit-
+ * identical double that produced it.
+ */
+struct JsonValue {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string text; //!< string contents, or the raw number token
+    std::vector<JsonValue> elements;
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Member lookup; throws std::runtime_error when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Exact integer value; throws on non-numbers or overflow. */
+    std::uint64_t asUint64() const;
+
+    /** Round-trip-exact double; throws on non-numbers. */
+    double asDouble() const;
+
+    /** String contents; throws on non-strings. */
+    const std::string &asString() const;
+};
+
+/**
+ * Parse one JSON document (objects, arrays, strings, numbers, bools,
+ * null; the subset Json emits).
+ * @throws std::runtime_error with position info on malformed input.
+ */
+JsonValue parseJson(const std::string &text);
+
 /** One simulation point of a bench result file. */
 struct BenchPoint {
     std::string workload;
@@ -93,6 +161,15 @@ struct BenchPoint {
     std::uint64_t runtimeCycles = 0;
     std::vector<std::pair<std::string, double>> energy;
     std::vector<std::pair<std::string, double>> counters;
+
+    // Fault-isolation fields (ISSUE 3). For "ok" points the error is
+    // empty and the measured fields above are real; for "failed" /
+    // "timed_out" points the measurements are zero.
+    std::string status = "ok"; //!< "ok" | "failed" | "timed_out"
+    std::string error;         //!< what() of the captured exception
+    unsigned attempts = 1;     //!< 1 + retries consumed
+    std::uint64_t seedUsed = 0; //!< seed of the final attempt
+    std::uint64_t digest = 0;   //!< stable point digest (checkpoint key)
 };
 
 /** Build a "tempo-bench-1" document. */

@@ -129,6 +129,43 @@ TEST_F(BlissFixture, NoAffinityWithoutTaggedPt)
     EXPECT_EQ(sched.pick(queue, *dram, 6), 0u);
 }
 
+TEST_F(BlissFixture, ZeroWeightRequestDoesNotStealStreamOwnership)
+{
+    // Regression: a zero-weight prefetch from a DIFFERENT app used to
+    // overwrite lastApp_ and reset the consecutive counter, so a hog
+    // interleaving free prefetches from elsewhere would never reach
+    // the blacklist threshold.
+    SchedulerConfig c = cfg;
+    c.blissPrefetchWeight = 0;
+    BlissScheduler sched(c);
+    // threshold 8 / demand weight 2 = 4 consecutive demand requests,
+    // with app 2's free prefetches interleaved after every one.
+    for (int i = 0; i < 3; ++i) {
+        sched.served(make(0x1000, 1), 1);
+        sched.served(make(0x2000, 2, ReqKind::TempoPrefetch), 1);
+        ASSERT_FALSE(sched.isBlacklisted(1)) << i;
+    }
+    sched.served(make(0x1000, 1), 1);
+    EXPECT_TRUE(sched.isBlacklisted(1));
+    // The invisible prefetches never built a streak for app 2 either.
+    EXPECT_FALSE(sched.isBlacklisted(2));
+}
+
+TEST_F(BlissFixture, ZeroWeightRequestFromSameAppLeavesStreakIntact)
+{
+    SchedulerConfig c = cfg;
+    c.blissPrefetchWeight = 0;
+    BlissScheduler sched(c);
+    // App 1's own free prefetches neither advance nor reset its streak.
+    for (int i = 0; i < 3; ++i) {
+        sched.served(make(0x1000, 1), 1);
+        sched.served(make(0x1000, 1, ReqKind::TempoPrefetch), 1);
+        ASSERT_FALSE(sched.isBlacklisted(1)) << i;
+    }
+    sched.served(make(0x1000, 1), 1);
+    EXPECT_TRUE(sched.isBlacklisted(1));
+}
+
 TEST_F(BlissFixture, WeightSweepChangesBlacklistRate)
 {
     // Property: higher prefetch weight -> apps blacklist sooner when

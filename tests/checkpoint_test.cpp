@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Sweep checkpointing tests: the RunResult JSON encoding must round-trip
+ * byte-exactly, the journal must restore by digest and tolerate the
+ * truncated tail a mid-append kill leaves behind, and a resumed sweep
+ * must reproduce an uninterrupted run's output byte for byte without
+ * re-simulating journaled points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "core/checkpoint.hh"
+#include "core/experiment.hh"
+
+namespace tempo {
+namespace {
+
+constexpr std::uint64_t kRefs = 4000;
+
+/** A scratch file removed on scope exit. */
+struct TempFile {
+    std::string path;
+    explicit TempFile(const std::string &name)
+        : path("checkpoint_test_" + name + ".jsonl")
+    {
+        std::remove(path.c_str());
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+RunResult
+sampleResult()
+{
+    SystemConfig cfg = SystemConfig::skylakeScaled();
+    cfg.withTempo(true);
+    return runWorkload(cfg, "mcf", kRefs);
+}
+
+std::vector<ExperimentPoint>
+sweepPoints()
+{
+    std::vector<ExperimentPoint> points;
+    for (const char *name : {"mcf", "xsbench", "canneal", "spmv"}) {
+        ExperimentPoint p;
+        p.workload = name;
+        p.config = SystemConfig::skylakeScaled();
+        p.refs = kRefs;
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+/** Flatten a sweep to the full tempo-bench-1 document for byte
+ * comparisons (status, failures array and all). */
+std::string
+emitJson(const std::vector<RunResult> &results)
+{
+    std::vector<stats::BenchPoint> points;
+    for (std::size_t i = 0; i < results.size(); ++i)
+        points.push_back(
+            toBenchPoint("p" + std::to_string(i), {}, results[i]));
+    return stats::benchJson("resume", kRefs, 42, points).dump();
+}
+
+TEST(Checkpoint, RunResultEncodingRoundTripsByteExactly)
+{
+    const RunResult original = sampleResult();
+    const std::string encoded = encodeRunResult(original).dumpCompact();
+    const RunResult decoded = decodeRunResult(stats::parseJson(encoded));
+    // Every CoreStats counter and report entry survives: re-encoding
+    // the decoded result reproduces the exact bytes.
+    EXPECT_EQ(encodeRunResult(decoded).dumpCompact(), encoded);
+    EXPECT_EQ(decoded.runtime, original.runtime);
+    EXPECT_EQ(decoded.core.walks, original.core.walks);
+    EXPECT_DOUBLE_EQ(decoded.energy.total(), original.energy.total());
+    ASSERT_EQ(decoded.report.entries().size(),
+              original.report.entries().size());
+    for (std::size_t i = 0; i < original.report.entries().size(); ++i) {
+        EXPECT_EQ(decoded.report.entries()[i].first,
+                  original.report.entries()[i].first);
+        EXPECT_EQ(decoded.report.entries()[i].second,
+                  original.report.entries()[i].second);
+    }
+}
+
+TEST(Checkpoint, DecodeRejectsForeignSchema)
+{
+    EXPECT_THROW(decodeRunResult(stats::parseJson("{\"v\":99}")),
+                 std::runtime_error);
+}
+
+TEST(Checkpoint, JournalRestoresByDigest)
+{
+    TempFile file("restore");
+    const RunResult result = sampleResult();
+    {
+        SweepJournal journal(file.path);
+        EXPECT_EQ(journal.loadedCount(), 0u);
+        journal.record(0xabcdef12u, result);
+    }
+    SweepJournal reopened(file.path);
+    EXPECT_EQ(reopened.loadedCount(), 1u);
+    RunResult out;
+    EXPECT_FALSE(reopened.restore(0x999u, out));
+    ASSERT_TRUE(reopened.restore(0xabcdef12u, out));
+    EXPECT_EQ(encodeRunResult(out).dumpCompact(),
+              encodeRunResult(result).dumpCompact());
+    EXPECT_EQ(out.status.digest, 0xabcdef12u);
+    EXPECT_TRUE(out.status.ok());
+}
+
+TEST(Checkpoint, TruncatedTailIsTolerated)
+{
+    TempFile file("truncated");
+    const RunResult result = sampleResult();
+    {
+        SweepJournal journal(file.path);
+        journal.record(1, result);
+        journal.record(2, result);
+    }
+    // Chop into the middle of the second line — the shape a kill
+    // mid-append leaves behind.
+    std::string bytes = slurp(file.path);
+    const std::size_t first_end = bytes.find('\n');
+    ASSERT_NE(first_end, std::string::npos);
+    bytes.resize(first_end + 1 + (bytes.size() - first_end) / 2);
+    std::ofstream(file.path, std::ios::binary | std::ios::trunc)
+        << bytes;
+
+    SweepJournal journal(file.path);
+    EXPECT_EQ(journal.loadedCount(), 1u);
+    RunResult out;
+    EXPECT_TRUE(journal.restore(1, out));
+    EXPECT_FALSE(journal.restore(2, out));
+    // The journal stays appendable after the repair.
+    journal.record(3, result);
+    SweepJournal after(file.path);
+    EXPECT_EQ(after.loadedCount(), 2u);
+}
+
+TEST(Checkpoint, ResumedSweepIsByteIdenticalAndSkipsJournaledPoints)
+{
+    TempFile file("resume");
+    std::vector<ExperimentPoint> points = sweepPoints();
+    // Count actual simulations via the factory hook (it does not enter
+    // the point digest, so restores still match).
+    auto calls = std::make_shared<std::atomic<int>>(0);
+    for (ExperimentPoint &p : points) {
+        const std::string name = p.workload;
+        p.makeWorkloadFn = [calls, name] {
+            calls->fetch_add(1);
+            return makeWorkload(name, 42);
+        };
+    }
+
+    ExperimentOptions opts;
+    opts.jobs = 1; // deterministic journal line order
+    opts.checkpointPath = file.path;
+    const std::vector<RunResult> full = runExperiments(points, opts);
+    EXPECT_EQ(calls->load(), 4);
+    const std::string full_json = emitJson(full);
+
+    // Interrupt after two completed points: keep the first two lines.
+    std::string bytes = slurp(file.path);
+    std::size_t cut = bytes.find('\n');
+    cut = bytes.find('\n', cut + 1);
+    ASSERT_NE(cut, std::string::npos);
+    std::ofstream(file.path, std::ios::binary | std::ios::trunc)
+        << bytes.substr(0, cut + 1);
+
+    calls->store(0);
+    const std::vector<RunResult> resumed = runExperiments(points, opts);
+    // Only the two missing points re-simulated...
+    EXPECT_EQ(calls->load(), 2);
+    // ...and the merged output is exactly the uninterrupted bytes.
+    EXPECT_EQ(emitJson(resumed), full_json);
+    // The journal is whole again: a third run simulates nothing.
+    calls->store(0);
+    runExperiments(points, opts);
+    EXPECT_EQ(calls->load(), 0);
+}
+
+TEST(Checkpoint, FailuresAreNotJournaledAndReproduceOnResume)
+{
+    TempFile file("failures");
+    std::vector<ExperimentPoint> points = sweepPoints();
+
+    ExperimentOptions opts;
+    opts.jobs = 2;
+    opts.checkpointPath = file.path;
+    opts.inject = {{2, FaultInjection::Kind::Throw}};
+    const std::vector<RunResult> first = runExperiments(points, opts);
+    EXPECT_EQ(first[2].status.code, RunStatus::Code::Failed);
+    EXPECT_EQ(SweepJournal(file.path).loadedCount(), 3u);
+
+    // Resume with the fault still present: the failure reproduces and
+    // the document matches byte for byte (the resume guarantee covers
+    // the failures array too).
+    const std::vector<RunResult> resumed = runExperiments(points, opts);
+    EXPECT_EQ(resumed[2].status.code, RunStatus::Code::Failed);
+    EXPECT_EQ(emitJson(resumed), emitJson(first));
+
+    // Resume with the fault gone (a transient): the point finally
+    // completes and joins the journal.
+    opts.inject.clear();
+    const std::vector<RunResult> healed = runExperiments(points, opts);
+    EXPECT_TRUE(healed[2].status.ok());
+    EXPECT_EQ(SweepJournal(file.path).loadedCount(), 4u);
+}
+
+TEST(Checkpoint, ConfigChangeInvalidatesRestore)
+{
+    TempFile file("invalidate");
+    std::vector<ExperimentPoint> points = sweepPoints();
+    ExperimentOptions opts;
+    opts.jobs = 2;
+    opts.checkpointPath = file.path;
+    runExperiments(points, opts);
+
+    // A different config digests differently: nothing restores and the
+    // sweep re-runs (results land under the new digests).
+    for (ExperimentPoint &p : points)
+        p.config.withTempo(true);
+    const std::vector<RunResult> rerun = runExperiments(points, opts);
+    for (const RunResult &result : rerun)
+        EXPECT_TRUE(result.status.ok());
+    EXPECT_EQ(SweepJournal(file.path).loadedCount(), 8u);
+}
+
+} // namespace
+} // namespace tempo

@@ -197,6 +197,32 @@ TEST(Experiment, EngineMatchesDirectSerialRun)
     expectIdentical(direct, engine[0]);
 }
 
+TEST(Experiment, ExplicitSeedZeroIsARealSeed)
+{
+    // Regression: seed 0 historically meant "unset" and silently fell
+    // back to config.seed, making seed 0 unusable. With the optional
+    // seed, nullopt selects config.seed and an explicit 0 seeds the
+    // workload with 0.
+    ExperimentPoint p;
+    p.workload = "mcf";
+    p.config = SystemConfig::skylakeScaled();
+    p.config.seed = 12345;
+    p.refs = kRefs;
+
+    const RunResult fallback = runExperiments({p}, 2)[0];
+    EXPECT_EQ(fallback.status.seedUsed, 12345u);
+
+    p.seed = 0;
+    const RunResult zero = runExperiments({p}, 2)[0];
+    EXPECT_EQ(zero.status.seedUsed, 0u);
+
+    // The explicit 0 reaches the workload generator: the run matches a
+    // direct simulation whose workload is seeded 0 under the same
+    // config (config.seed still feeds the prefetcher RNG etc.).
+    TempoSystem direct(p.config, makeWorkload("mcf", 0));
+    expectIdentical(direct.run(kRefs), zero);
+}
+
 TEST(Experiment, PropagatesBadWorkloadName)
 {
     ExperimentPoint p;

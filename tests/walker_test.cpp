@@ -118,6 +118,70 @@ TEST_F(WalkerFixture, FinishDoesNotCacheFaultingLevels)
     EXPECT_EQ(replan.fetches.back().level, 3);
 }
 
+TEST_F(WalkerFixture, ResumesBelowDeepestCachedLevel)
+{
+    // Only the upper two levels are cached (deepestCached == 3): the
+    // walk resumes at L2 and fetches exactly L2 and the leaf.
+    map4K(0x1234000);
+    mmu.fill(0x1234000, 4);
+    mmu.fill(0x1234000, 3);
+    ASSERT_EQ(mmu.deepestCached(0x1234000), 3);
+    const WalkPlan plan = walker.plan(0x1234000);
+    ASSERT_EQ(plan.fetches.size(), 2u);
+    EXPECT_EQ(plan.fetches[0].level, 2);
+    EXPECT_EQ(plan.fetches[1].level, 1);
+}
+
+TEST_F(WalkerFixture, OnlyLeafFetchedWhenL2Cached)
+{
+    // deepestCached == 2 is the deepest the MMU caches can help: only
+    // the leaf PTE remains, and finishing such a single-fetch plan
+    // must not cache anything new (the leaf never enters the MMU
+    // caches).
+    map4K(0x1234000);
+    mmu.fill(0x1234000, 4);
+    mmu.fill(0x1234000, 3);
+    mmu.fill(0x1234000, 2);
+    ASSERT_EQ(mmu.deepestCached(0x1234000), 2);
+    const WalkPlan plan = walker.plan(0x1234000);
+    ASSERT_EQ(plan.fetches.size(), 1u);
+    EXPECT_EQ(plan.fetches[0].level, 1);
+    walker.finish(0x1234000, plan);
+    EXPECT_EQ(mmu.deepestCached(0x1234000), 2);
+}
+
+TEST_F(WalkerFixture, OneGigWalkEndsAtLevel3)
+{
+    const Addr va = Addr{1} << 30;
+    table.map(va, PageSize::Page1G, os.allocFrame(PageSize::Page1G));
+    const WalkPlan first = walker.plan(va);
+    ASSERT_TRUE(first.xlate.valid);
+    ASSERT_EQ(first.fetches.size(), 2u);
+    EXPECT_EQ(first.fetches.back().level, 3);
+    EXPECT_EQ(first.xlate.size, PageSize::Page1G);
+    // finish() fills only the L4 entry; the L3 *leaf* stays uncached,
+    // so the next walk still fetches exactly it.
+    walker.finish(va, first);
+    const WalkPlan second = walker.plan(va);
+    ASSERT_EQ(second.fetches.size(), 1u);
+    EXPECT_EQ(second.fetches[0].level, 3);
+}
+
+TEST_F(WalkerFixture, FinishNeverCachesLeafLevel)
+{
+    // finish() fills upper levels (2-4) only. A crafted plan whose
+    // non-last fetch sits at the leaf level must leave the MMU caches
+    // untouched — level 1 is below the fill boundary.
+    map4K(0x1234000);
+    const WalkPlan full = walker.plan(0x1234000);
+    ASSERT_EQ(full.fetches.size(), 4u);
+    WalkPlan crafted;
+    crafted.xlate = full.xlate;
+    crafted.fetches = {full.fetches[3], full.fetches[3]};
+    walker.finish(0x1234000, crafted);
+    EXPECT_EQ(mmu.deepestCached(0x1234000), 5); // still cold
+}
+
 TEST_F(WalkerFixture, StatsCountWalksAndRefs)
 {
     map4K(0x1234000);

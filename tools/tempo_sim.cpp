@@ -129,30 +129,64 @@ main(int argc, char **argv)
         points.push_back(std::move(second));
     }
 
-    const std::vector<RunResult> results =
-        runExperiments(points, options.jobs);
+    // Engine options: environment first (so CI can inject faults), then
+    // explicit flags on top. A failing point no longer kills the run —
+    // its status is reported and the other point still completes.
+    ExperimentOptions engine_opts = ExperimentOptions::fromEnv();
+    engine_opts.jobs = options.jobs;
+    if (options.retries)
+        engine_opts.retries = options.retries;
+    if (options.pointTimeout > 0)
+        engine_opts.pointTimeoutSec = options.pointTimeout;
+    if (!options.checkpointPath.empty())
+        engine_opts.checkpointPath = options.checkpointPath;
+
+    std::vector<RunResult> results;
+    try {
+        results = runExperiments(points, engine_opts);
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 2;
+    }
+
+    std::size_t num_ok = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunStatus &status = results[i].status;
+        if (status.ok()) {
+            ++num_ok;
+            continue;
+        }
+        std::fprintf(stderr,
+                     "point %zu (%s): %s after %u attempt(s): %s\n", i,
+                     points[i].workload.c_str(), status.codeName(),
+                     status.attempts, status.error.c_str());
+    }
+
     const RunResult &result = results.front();
-    printSummary(cfg.mc.tempoEnabled ? "TEMPO" : "baseline", result);
+    if (result.status.ok())
+        printSummary(cfg.mc.tempoEnabled ? "TEMPO" : "baseline", result);
 
     if (options.compare) {
         const RunResult &with_tempo = results.back();
-        printSummary("TEMPO", with_tempo);
-        std::printf("\nTEMPO improvement: performance %+.1f%%, "
-                    "energy %+.1f%%\n",
-                    100.0 * with_tempo.speedupOver(result),
-                    100.0 * with_tempo.energySavingOver(result));
+        if (with_tempo.status.ok())
+            printSummary("TEMPO", with_tempo);
+        if (result.status.ok() && with_tempo.status.ok())
+            std::printf("\nTEMPO improvement: performance %+.1f%%, "
+                        "energy %+.1f%%\n",
+                        100.0 * with_tempo.speedupOver(result),
+                        100.0 * with_tempo.energySavingOver(result));
     }
 
-    if (options.profile) {
+    if (options.profile && result.status.ok()) {
         std::printf("\n");
         printProfile(result);
-        if (options.compare) {
+        if (options.compare && results.back().status.ok()) {
             std::printf("\n");
             printProfile(results.back());
         }
     }
 
-    if (options.fullReport) {
+    if (options.fullReport && result.status.ok()) {
         std::printf("\nfull report:\n");
         result.report.printText(std::cout);
     }
@@ -185,5 +219,5 @@ main(int argc, char **argv)
         }
         std::printf("wrote %s\n", options.jsonPath.c_str());
     }
-    return 0;
+    return num_ok == 0 ? 3 : 0;
 }

@@ -39,6 +39,9 @@ struct SweepArgs {
     std::uint64_t refs = 150000;
     std::uint64_t warmup = 0;
     unsigned jobs = 0;
+    unsigned retries = 0;
+    double pointTimeout = 0;
+    std::string checkpointPath;
     std::string jsonPath;
     bool tempo = false;
     bool compare = false;
@@ -52,11 +55,17 @@ usage(int status)
         "usage: tempo_sweep --key SECTION.KEY --values V1,V2,...\n"
         "  [--workload NAME] [--refs N] [--warmup N]\n"
         "  [--jobs N] [--json PATH] [--profile]\n"
+        "  [--retries N] [--point-timeout S] [--checkpoint PATH]\n"
         "  [--tempo | --compare]\n"
         "Keys are the INI config keys (src/cli/config_file.hh),\n"
         "e.g. dram.row_policy, mc.pt_row_hold, vm.frag.\n"
         "Points run in parallel (--jobs N, default all cores or the\n"
-        "TEMPO_JOBS env var); results are identical at any job count.\n",
+        "TEMPO_JOBS env var); results are identical at any job count.\n"
+        "A failing or timed-out point does not kill the sweep: its row\n"
+        "shows the status, details go to stderr and the JSON failures\n"
+        "array, and --checkpoint lets a killed sweep resume without\n"
+        "re-running finished points. Exit status: 0 when at least one\n"
+        "point succeeded, 3 when all failed, 2 on usage errors.\n",
         status == 0 ? stdout : stderr);
     std::exit(status);
 }
@@ -85,6 +94,13 @@ parseArgs(int argc, char **argv)
         else if (arg == "--jobs")
             args.jobs = static_cast<unsigned>(
                 std::strtoul(next().c_str(), nullptr, 10));
+        else if (arg == "--retries")
+            args.retries = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        else if (arg == "--point-timeout")
+            args.pointTimeout = std::strtod(next().c_str(), nullptr);
+        else if (arg == "--checkpoint")
+            args.checkpointPath = next();
         else if (arg == "--json")
             args.jsonPath = next();
         else if (arg == "--tempo")
@@ -163,12 +179,42 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // Engine options: environment first (so CI can inject faults), then
+    // explicit flags on top.
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    opts.jobs = args.jobs;
+    if (args.retries)
+        opts.retries = args.retries;
+    if (args.pointTimeout > 0)
+        opts.pointTimeoutSec = args.pointTimeout;
+    if (!args.checkpointPath.empty())
+        opts.checkpointPath = args.checkpointPath;
+
     std::vector<RunResult> results;
     try {
-        results = runExperiments(points, args.jobs);
+        results = runExperiments(points, opts);
     } catch (const std::exception &error) {
+        // Only infrastructure errors (bad TEMPO_FAULT_INJECT spec, an
+        // unwritable journal) reach here; point failures are captured
+        // in the results.
         std::fprintf(stderr, "error: %s\n", error.what());
         return 2;
+    }
+
+    std::size_t num_ok = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunStatus &status = results[i].status;
+        if (status.ok()) {
+            ++num_ok;
+            continue;
+        }
+        std::fprintf(stderr,
+                     "point %zu (%s, %s=%s): %s after %u attempt(s): "
+                     "%s\n",
+                     i, points[i].workload.c_str(), args.key.c_str(),
+                     args.values[i / (args.compare ? 2 : 1)].c_str(),
+                     status.codeName(), status.attempts,
+                     status.error.c_str());
     }
 
     std::printf("%s,runtime,energy,tlb_miss_rate,dram_ptw_frac,"
@@ -179,18 +225,33 @@ main(int argc, char **argv)
     const std::size_t stride = args.compare ? 2 : 1;
     for (std::size_t v = 0; v < args.values.size(); ++v) {
         const RunResult &base = results[v * stride];
-        std::printf("%s,%llu,%.1f,%.4f,%.4f,%.4f",
-                    args.values[v].c_str(),
-                    static_cast<unsigned long long>(base.runtime),
-                    base.energy.total(),
-                    base.report.get("tlb.miss_rate"), base.fracDramPtw(),
-                    base.superpageCoverage);
+        if (base.status.ok()) {
+            std::printf("%s,%llu,%.1f,%.4f,%.4f,%.4f",
+                        args.values[v].c_str(),
+                        static_cast<unsigned long long>(base.runtime),
+                        base.energy.total(),
+                        base.report.get("tlb.miss_rate"),
+                        base.fracDramPtw(), base.superpageCoverage);
+        } else {
+            // Keep the column count: status marker in the runtime
+            // column, zeros for the measurements.
+            std::printf("%s,%s,0,0,0,0", args.values[v].c_str(),
+                        base.status.codeName());
+        }
         if (args.compare) {
             const RunResult &with_tempo = results[v * stride + 1];
-            std::printf(",%llu,%.4f",
-                        static_cast<unsigned long long>(
-                            with_tempo.runtime),
-                        with_tempo.speedupOver(base));
+            if (with_tempo.status.ok() && base.status.ok()) {
+                std::printf(",%llu,%.4f",
+                            static_cast<unsigned long long>(
+                                with_tempo.runtime),
+                            with_tempo.speedupOver(base));
+            } else if (with_tempo.status.ok()) {
+                std::printf(",%llu,0",
+                            static_cast<unsigned long long>(
+                                with_tempo.runtime));
+            } else {
+                std::printf(",%s,0", with_tempo.status.codeName());
+            }
         }
         std::printf("\n");
     }
@@ -211,5 +272,5 @@ main(int argc, char **argv)
         }
         std::fprintf(stderr, "wrote %s\n", args.jsonPath.c_str());
     }
-    return 0;
+    return (num_ok == 0 && !results.empty()) ? 3 : 0;
 }
