@@ -14,6 +14,11 @@
  * BENCH_<name>.json file (tempo-bench-1 schema, see src/stats/json.hh)
  * in the working directory — or $TEMPO_BENCH_JSON_DIR when set.
  *
+ * Observability (src/obs/) is environment-driven: TEMPO_TRACE_DIR
+ * writes a TRACE_<bench>_<point>.json pipeline trace per single-app
+ * point, TEMPO_TRACE_FILTER narrows the categories, and
+ * TEMPO_TIMESERIES_WINDOW adds windowed time series to the bench JSON.
+ *
  * Fault isolation: a point that throws or exceeds TEMPO_POINT_TIMEOUT
  * seconds is reported on stderr and in the JSON failures array while
  * every other point completes (TEMPO_RETRIES re-runs failures with a
@@ -35,6 +40,7 @@
 #include "core/experiment.hh"
 #include "core/multi_system.hh"
 #include "core/tempo_system.hh"
+#include "obs/obs.hh"
 #include "workloads/workload.hh"
 
 namespace tempo::bench {
@@ -114,6 +120,19 @@ point(const SystemConfig &cfg, const std::string &workload,
     return p;
 }
 
+/** One-time, environment-driven observability setup (TEMPO_TRACE_DIR,
+ * TEMPO_TRACE_FILTER, TEMPO_TIMESERIES_WINDOW, TEMPO_TRACE_CAPACITY);
+ * safe to call from every batch entry point. */
+inline void
+configureObsFromEnv()
+{
+    static const bool once = [] {
+        obs::configure(obs::configFromEnv());
+        return true;
+    }();
+    (void)once;
+}
+
 /** The bench name registered by the JsonRecorder constructor; names
  * the checkpoint journal. Benches run one batch at a time, so one
  * global is enough. */
@@ -168,9 +187,33 @@ rget(const RunResult &result, const std::string &key)
 inline std::vector<RunResult>
 runAll(std::vector<ExperimentPoint> points)
 {
+    configureObsFromEnv();
     std::vector<RunResult> results =
         runExperiments(points, benchOptions());
     reportFailures(results);
+
+    // Pipeline traces: one Chrome-trace JSON per point when
+    // TEMPO_TRACE_DIR is set. The running index spans batches so a
+    // bench with several runAll() calls never overwrites a file;
+    // checkpoint-restored points (cfg.trace unset) are skipped.
+    if (!obs::config().traceDir.empty()) {
+        static std::size_t trace_index = 0;
+        for (const RunResult &result : results) {
+            const std::size_t index = trace_index++;
+            if (!result.obs || !result.obs->cfg.trace)
+                continue;
+            const std::string bench = currentBenchName().empty()
+                ? "bench" : currentBenchName();
+            const std::string path = obs::config().traceDir + "/TRACE_"
+                + bench + "_" + std::to_string(index) + ".json";
+            try {
+                obs::writeChromeTrace(path, *result.obs);
+                std::fprintf(stderr, "wrote %s\n", path.c_str());
+            } catch (const std::exception &error) {
+                std::fprintf(stderr, "error: %s\n", error.what());
+            }
+        }
+    }
     return results;
 }
 
@@ -223,6 +266,7 @@ class JsonRecorder
         // checkpoint journal path; construct the recorder BEFORE the
         // first batch.
         currentBenchName() = bench_;
+        configureObsFromEnv();
     }
 
     /** Record one finished single-app point. */

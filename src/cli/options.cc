@@ -1,6 +1,7 @@
 #include "cli/options.hh"
 
 #include "cli/config_file.hh"
+#include "obs/obs.hh"
 
 #include <stdexcept>
 
@@ -80,6 +81,15 @@ usage()
         "  --trace-in PATH     replay a recorded trace file\n"
         "  --trace-out PATH    record the workload to a trace file and "
         "exit\n"
+        "  --trace PATH        write a deterministic pipeline trace\n"
+        "                      (Chrome trace-event JSON; load in "
+        "Perfetto)\n"
+        "  --trace-filter C    comma-separated trace categories:\n"
+        "                      walk,pt,txq,prefetch,replay,row,bliss,"
+        "all\n"
+        "  --timeseries-window N  sample time-series metrics every N\n"
+        "                      cycles into the bench JSON (default "
+        "off)\n"
         "  --config PATH       apply an INI config file (see "
         "src/cli/config_file.hh)\n"
         "  --profile           report per-component wall-clock "
@@ -172,6 +182,22 @@ parse(const std::vector<std::string> &args)
             options.traceIn = next("--trace-in");
         } else if (arg == "--trace-out") {
             options.traceOut = next("--trace-out");
+        } else if (arg == "--trace") {
+            options.tracePath = next("--trace");
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            options.tracePath = arg.substr(8);
+            if (options.tracePath.empty())
+                bad("--trace needs a value");
+        } else if (arg == "--trace-filter") {
+            options.traceFilter = next("--trace-filter");
+        } else if (arg.rfind("--trace-filter=", 0) == 0) {
+            options.traceFilter = arg.substr(15);
+        } else if (arg == "--timeseries-window") {
+            options.timeseriesWindow =
+                parseU64(arg, next("--timeseries-window"));
+        } else if (arg.rfind("--timeseries-window=", 0) == 0) {
+            options.timeseriesWindow =
+                parseU64("--timeseries-window", arg.substr(20));
         } else if (arg == "--config") {
             options.configPath = next("--config");
         } else if (arg == "--profile") {
@@ -183,6 +209,10 @@ parse(const std::vector<std::string> &args)
     if (options.tempo && options.compare)
         bad("--tempo and --compare are mutually exclusive "
             "(--compare runs both)");
+    // Validate the filter at parse time so typos fail before a long run
+    // (throws std::invalid_argument, the same contract as bad()).
+    if (!options.traceFilter.empty())
+        obs::parseCategories(options.traceFilter);
     return options;
 }
 

@@ -46,6 +46,13 @@ struct Options {
                             //!< named generator
     std::string traceOut;   //!< record the workload to this file and
                             //!< exit without simulating
+    /** Pipeline trace (Chrome trace-event JSON) output path; "" = off.
+     * Unrelated to --trace-in/--trace-out workload traces. */
+    std::string tracePath;
+    /** Comma-separated trace categories ("" = all). */
+    std::string traceFilter;
+    /** Time-series sampling window in cycles; 0 = off. */
+    std::uint64_t timeseriesWindow = 0;
     std::string configPath; //!< INI file applied on top of the preset
     /** Collect wall-clock per-component attribution and report it under
      * the "profile." prefix (numbers are nondeterministic). */

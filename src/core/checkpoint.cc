@@ -135,6 +135,22 @@ encodeRunResult(const RunResult &result)
         report.push(std::move(entry));
     }
     doc.set("report", std::move(report));
+
+    // Optional time-series payload: only present when the run sampled.
+    // Trace events are NOT journaled (a resumed point rereads counters
+    // but cannot regenerate a trace file).
+    if (result.obs && !result.obs->timeseries.empty()) {
+        Json timeseries = Json::object();
+        timeseries.set("window_cycles",
+                       result.obs->timeseries.windowCycles);
+        for (const auto &[column, values] : result.obs->timeseries.columns) {
+            Json samples = Json::array();
+            for (double v : values)
+                samples.push(v);
+            timeseries.set(column, std::move(samples));
+        }
+        doc.set("timeseries", std::move(timeseries));
+    }
     return doc;
 }
 
@@ -169,6 +185,24 @@ decodeRunResult(const stats::JsonValue &value)
             throw std::runtime_error("journal: bad report entry");
         result.report.add(entry.elements[0].asString(),
                           entry.elements[1].asDouble());
+    }
+
+    if (const JsonValue *timeseries = value.find("timeseries")) {
+        // Restored observability carries the time series only; cfg stays
+        // default (trace=false), so resume never rewrites trace files.
+        auto obs = std::make_shared<obs::RunObs>();
+        for (const auto &[key, column] : timeseries->members) {
+            if (key == "window_cycles") {
+                obs->timeseries.windowCycles = column.asUint64();
+                continue;
+            }
+            std::vector<double> values;
+            values.reserve(column.elements.size());
+            for (const JsonValue &v : column.elements)
+                values.push_back(v.asDouble());
+            obs->timeseries.columns.emplace_back(key, std::move(values));
+        }
+        result.obs = std::move(obs);
     }
     return result;
 }

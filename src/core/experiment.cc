@@ -329,6 +329,11 @@ toBenchPoint(const std::string &workload,
     };
     for (const auto &[name, value] : result.report.entries())
         point.counters.emplace_back("report." + name, value);
+
+    if (result.obs && !result.obs->timeseries.empty()) {
+        point.timeseriesWindow = result.obs->timeseries.windowCycles;
+        point.timeseries = result.obs->timeseries.columns;
+    }
     return point;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "common/profiler.hh"
+#include "obs/obs.hh"
 
 namespace tempo {
 
@@ -61,6 +62,7 @@ struct SimCore::RefContext {
     bool walkLeafDram = false;
     double ptwDramCycles = 0;
     double replayDramCycles = 0;
+    std::uint64_t walkId = 0; //!< observability walk id (0 = none)
 };
 
 SimCore::SimCore(Machine &machine, AppId app,
@@ -174,8 +176,15 @@ SimCore::beginRef()
     // TLB miss: plan and execute the page table walk.
     ctx->tlbMiss = true;
     ++stats_.walks;
+    ++walksOutstanding_;
     auto plan = std::make_shared<WalkPlan>(walker.plan(ctx->ref.vaddr));
     TEMPO_ASSERT(plan->xlate.valid, "demand reference walk must resolve");
+    if (auto *o = obs::session()) {
+        ctx->walkId = o->walkBegin(machine_.eq.now(), ctx->ref.vaddr,
+                                   obs::WalkKind::Demand,
+                                   plan->fetches.size(), plan->skipped);
+        plan->obsWalkId = ctx->walkId;
+    }
 
     const Cycle walk_start = after_tlb + cfg_.mmu.latency;
     const Addr vaddr = ctx->ref.vaddr;
@@ -187,6 +196,9 @@ SimCore::beginRef()
                       ctx->walkLeafDram = leaf_dram;
                       if (leaf_dram)
                           ++stats_.walksWithLeafDram;
+                      --walksOutstanding_;
+                      if (auto *o = obs::session())
+                          o->walkEnd(when, ctx->walkId, leaf_dram);
                       walker.finish(vaddr, *plan);
                       tlb.fill(vaddr, plan->xlate.size);
                       maybeTlbPrefetch(vaddr, plan->xlate.size);
@@ -214,6 +226,11 @@ SimCore::walkAsync(Addr vaddr, std::shared_ptr<WalkPlan> plan,
     const bool is_leaf = step + 1 == plan->fetches.size();
     const CacheOutcome outcome = caches.access(fetch.pteAddr);
     const Cycle after_caches = machine_.eq.now() + outcome.latency;
+    if (auto *o = obs::session()) {
+        o->walkStep(machine_.eq.now(), plan->obsWalkId, fetch.level,
+                    fetch.pteAddr,
+                    static_cast<std::uint8_t>(outcome.level));
+    }
 
     if (outcome.level != CacheLevel::Memory) {
         if (is_leaf) {
@@ -268,12 +285,18 @@ SimCore::walkAsync(Addr vaddr, std::shared_ptr<WalkPlan> plan,
     req.isWrite = false;
     req.kind = ReqKind::PtWalk;
     req.app = app_;
+    req.walkId = plan->obsWalkId;
     if (is_leaf) {
         req.tempo.tagged = true;
         req.tempo.pteValid = plan->xlate.valid;
         if (plan->xlate.valid) {
             req.tempo.replayPaddr =
                 lineAddr(plan->xlate.physAddr(vaddr));
+        }
+        if (auto *o = obs::session()) {
+            o->ptAccessTag(machine_.eq.now(), plan->obsWalkId,
+                           lineAddr(fetch.pteAddr),
+                           req.tempo.replayPaddr, plan->xlate.valid);
         }
     }
 
@@ -312,17 +335,29 @@ SimCore::dataAccess(const RefPtr &ctx)
 {
     prof::Scope prof_scope(prof::Component::Core);
     TEMPO_ASSERT(ctx->paddr != kInvalidAddr, "data access untranslated");
+    if (ctx->tlbMiss) {
+        if (auto *o = obs::session())
+            o->replayBegin(machine_.eq.now(), ctx->walkId, ctx->paddr);
+    }
     const CacheOutcome outcome =
         caches.access(ctx->paddr, ctx->ref.isWrite);
     const Cycle after_caches = machine_.eq.now() + outcome.latency;
 
     if (outcome.level != CacheLevel::Memory) {
-        if (ctx->tlbMiss && ctx->walkLeafDram) {
-            ++stats_.replayAfterDramWalk;
-            if (outcome.level == CacheLevel::LLC)
-                ++stats_.replayLlcHits;
-            else
-                ++stats_.replayPrivateHits;
+        if (ctx->tlbMiss) {
+            const bool llc = outcome.level == CacheLevel::LLC;
+            if (ctx->walkLeafDram) {
+                ++stats_.replayAfterDramWalk;
+                if (llc)
+                    ++stats_.replayLlcHits;
+                else
+                    ++stats_.replayPrivateHits;
+            }
+            if (auto *o = obs::session()) {
+                o->replayEnd(after_caches, ctx->walkId,
+                             llc ? obs::ReplayClass::LlcHit
+                                 : obs::ReplayClass::PrivateHit);
+            }
         }
         machine_.eq.schedule(after_caches,
                              [this, ctx] { finishRef(ctx); });
@@ -353,6 +388,10 @@ SimCore::memoryAccess(const RefPtr &ctx)
             ++stats_.replayAfterDramWalk;
             ++stats_.replayLlcHits;
         }
+        if (auto *o = obs::session()) {
+            o->replayEnd(machine_.eq.now(), ctx->walkId,
+                         obs::ReplayClass::LlcHit);
+        }
         finishRef(ctx);
         return;
     }
@@ -368,6 +407,10 @@ SimCore::memoryAccess(const RefPtr &ctx)
                 if (ctx->walkLeafDram) {
                     ++stats_.replayAfterDramWalk;
                     ++stats_.replayMerged;
+                }
+                if (auto *o = obs::session()) {
+                    o->replayEnd(done, ctx->walkId,
+                                 obs::ReplayClass::Merged);
                 }
                 // The waiter runs at the prefetch's completion event,
                 // which is never before `submit`.
@@ -396,6 +439,10 @@ SimCore::memoryAccess(const RefPtr &ctx)
                     ++stats_.replayDramAfterDramWalk;
                     ++stats_.replayArray;
                 }
+                if (auto *o = obs::session()) {
+                    o->replayEnd(when, ctx->walkId,
+                                 obs::ReplayClass::Array);
+                }
             } else {
                 stats_.cyclesOtherDram += waited;
             }
@@ -410,6 +457,7 @@ SimCore::memoryAccess(const RefPtr &ctx)
     req.isWrite = ctx->ref.isWrite;
     req.kind = ctx->tlbMiss ? ReqKind::Replay : ReqKind::Regular;
     req.app = app_;
+    req.walkId = ctx->walkId;
     const Cycle submit_at = machine_.eq.now();
     req.onComplete = [this, ctx, submit_at](const MemResult &res) {
         const Addr writeback =
@@ -422,15 +470,21 @@ SimCore::memoryAccess(const RefPtr &ctx)
         if (ctx->tlbMiss) {
             ++stats_.replayDramAccesses;
             ctx->replayDramCycles = dram_cycles;
+            const bool row_hit = res.rowEvent
+                == static_cast<std::uint8_t>(RowEvent::Hit);
             if (ctx->walkLeafDram) {
                 ++stats_.replayAfterDramWalk;
                 ++stats_.replayDramAfterDramWalk;
-                if (res.rowEvent
-                    == static_cast<std::uint8_t>(RowEvent::Hit)) {
+                if (row_hit) {
                     ++stats_.replayRowHits;
                 } else {
                     ++stats_.replayArray;
                 }
+            }
+            if (auto *o = obs::session()) {
+                o->replayEnd(res.complete, ctx->walkId,
+                             row_hit ? obs::ReplayClass::RowHit
+                                     : obs::ReplayClass::Array);
             }
         } else {
             ++stats_.regularDramAccesses;
@@ -542,10 +596,21 @@ SimCore::prefetchChain(Addr target)
     }
 
     auto plan = std::make_shared<WalkPlan>(walker.plan(target));
+    if (auto *o = obs::session()) {
+        plan->obsWalkId =
+            o->walkBegin(machine_.eq.now(), target,
+                         obs::WalkKind::CorePrefetch,
+                         plan->fetches.size(), plan->skipped);
+    }
     machine_.eq.schedule(
         after_tlb + cfg_.mmu.latency, [this, plan, target] {
             walkAsync(target, plan, 0, true,
-                      [this, plan, target](Cycle when, double, bool) {
+                      [this, plan, target](Cycle when, double,
+                                           bool leaf_dram) {
+                          if (auto *o = obs::session()) {
+                              o->walkEnd(when, plan->obsWalkId,
+                                         leaf_dram);
+                          }
                           if (!plan->xlate.valid) {
                               ++stats_.impFaults;
                               --impInflight_;
@@ -575,9 +640,20 @@ SimCore::maybeTlbPrefetch(Addr vaddr, PageSize size)
         return;
     ++stats_.tlbPrefetches;
     auto plan = std::make_shared<WalkPlan>(walker.plan(next));
+    if (auto *o = obs::session()) {
+        plan->obsWalkId =
+            o->walkBegin(machine_.eq.now(), next,
+                         obs::WalkKind::TlbPrefetch,
+                         plan->fetches.size(), plan->skipped);
+    }
     machine_.eq.scheduleIn(cfg_.mmu.latency, [this, plan, next] {
         walkAsync(next, plan, 0, true,
-                  [this, plan, next](Cycle, double, bool) {
+                  [this, plan, next](Cycle when, double,
+                                     bool leaf_dram) {
+                      if (auto *o = obs::session()) {
+                          o->walkEnd(when, plan->obsWalkId,
+                                     leaf_dram);
+                      }
                       if (!plan->xlate.valid)
                           return;
                       walker.finish(next, *plan);

@@ -130,6 +130,9 @@ class SimCore
      * state — TLB/cache/table contents — is preserved). */
     void resetStats();
 
+    /** Demand page-table walks currently in flight (for sampling). */
+    std::uint64_t outstandingWalks() const { return walksOutstanding_; }
+
   private:
     struct RefContext;
     using RefPtr = std::shared_ptr<RefContext>;
@@ -191,6 +194,7 @@ class SimCore
 
     std::uint64_t warmupAfter_ = 0;
     std::function<void()> warmupCallback_;
+    std::uint64_t walksOutstanding_ = 0;
 
     CoreStats stats_;
 };

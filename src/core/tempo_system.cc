@@ -68,6 +68,10 @@ TempoSystem::TempoSystem(const SystemConfig &cfg,
 RunResult
 TempoSystem::run(std::uint64_t num_refs, std::uint64_t warmup_refs)
 {
+    // One observability session spans the whole run (created only when
+    // globally enabled; disabled runs pay one relaxed load per hook).
+    obs::ScopedRun obs_run;
+
     Cycle measure_from = 0;
     if (warmup_refs > 0) {
         core_.setWarmupCallback(warmup_refs, [this, &measure_from] {
@@ -76,11 +80,18 @@ TempoSystem::run(std::uint64_t num_refs, std::uint64_t warmup_refs)
             machine_.mc.resetStats();
             machine_.dram.resetStats();
             machine_.llc.resetStats();
+            if (auto *o = obs::session())
+                o->resetCounters();
         });
     }
     const bool profiling = prof::enabled();
     if (profiling)
         prof::beginWindow();
+    if (obs::Session *s = obs_run.session()) {
+        const Cycle window = obs::config().timeseriesWindow;
+        if (window > 0)
+            scheduleObsSample(s, window);
+    }
     core_.start(num_refs + warmup_refs);
     machine_.eq.runAll();
     const prof::Totals prof_totals =
@@ -130,6 +141,12 @@ TempoSystem::run(std::uint64_t num_refs, std::uint64_t warmup_refs)
     result.energy.report(energy_report);
     result.report.merge("energy.", energy_report);
 
+    if (obs_run.session()) {
+        stats::Report obs_report;
+        result.obs = obs_run.finish(obs_report);
+        result.report.merge("obs.", obs_report);
+    }
+
     if (profiling) {
         // Wall-clock attribution: nondeterministic, so only emitted when
         // --profile explicitly asked for it (keeps goldens byte-stable).
@@ -149,6 +166,21 @@ TempoSystem::run(std::uint64_t num_refs, std::uint64_t warmup_refs)
     }
 
     return result;
+}
+
+void
+TempoSystem::scheduleObsSample(obs::Session *s, Cycle window)
+{
+    machine_.eq.scheduleIn(window, [this, s, window] {
+        s->timeseriesSample(machine_.eq.now(),
+                            machine_.mc.queueOccupancy(),
+                            machine_.mc.pendingPrefetchCount(),
+                            core_.outstandingWalks(),
+                            machine_.dram.rowHits(),
+                            machine_.dram.accesses());
+        if (!core_.done())
+            scheduleObsSample(s, window);
+    });
 }
 
 RunResult

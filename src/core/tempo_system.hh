@@ -14,6 +14,7 @@
 #include "core/machine.hh"
 #include "core/run_status.hh"
 #include "core/sim_core.hh"
+#include "obs/obs.hh"
 #include "workloads/workload.hh"
 
 namespace tempo {
@@ -40,6 +41,10 @@ struct RunResult {
     std::uint64_t dramOther = 0;
 
     stats::Report report;
+
+    /** Observability payload (trace events, time series); null unless
+     * the run executed with observability enabled. */
+    std::shared_ptr<obs::RunObs> obs;
 
     /** Fig. 1 splits: category share of total reference cycles. */
     double fracRuntimePtwDram() const;
@@ -78,6 +83,9 @@ class TempoSystem
     SimCore &core() { return core_; }
 
   private:
+    /** Re-arm the periodic time-series sample event. */
+    void scheduleObsSample(obs::Session *s, Cycle window);
+
     Machine machine_;
     SimCore core_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/obs.hh"
 
 namespace tempo {
 
@@ -112,12 +113,14 @@ Bank::pickVictim(bool is_prefetch, AppId app)
 }
 
 void
-Bank::closeSlot(Slot &slot, EnergyCounters &energy)
+Bank::closeSlot(Slot &slot, Cycle when, EnergyCounters &energy)
 {
     if (!slot.valid)
         return;
     ++energy.precharges;
     policy_->rowClosed(predictorKey(slot.row), slot.hitsWhileOpen);
+    if (auto *o = obs::session())
+        o->rowClose(when, bankId_, slot.row);
     slot.valid = false;
     slot.hitsWhileOpen = 0;
     slot.holdUntil = 0;
@@ -135,6 +138,8 @@ Bank::applyRefresh(Cycle when, EnergyCounters &energy)
             if (slot.valid) {
                 policy_->rowClosed(predictorKey(slot.row),
                                    slot.hitsWhileOpen);
+                if (auto *o = obs::session())
+                    o->rowClose(nextRefreshAt_, bankId_, slot.row);
                 slot.valid = false;
                 slot.hitsWhileOpen = 0;
                 slot.holdUntil = 0;
@@ -174,7 +179,7 @@ Bank::access(Addr row, unsigned segment, bool is_write, bool is_prefetch,
             result.event = RowEvent::Conflict;
             result.start = start;
             result.complete = start + cfg_.conflictLatency();
-            closeSlot(*slot, energy);
+            closeSlot(*slot, start, energy);
         } else {
             result.event = RowEvent::Miss;
             result.start = start;
@@ -186,6 +191,8 @@ Bank::access(Addr row, unsigned segment, bool is_write, bool is_prefetch,
         slot->segment = segment;
         slot->hitsWhileOpen = 0;
         slot->actAt = result.start;
+        if (auto *o = obs::session())
+            o->rowOpen(result.start, bankId_, row);
     }
 
     if (is_write)
@@ -205,11 +212,11 @@ Bank::access(Addr row, unsigned segment, bool is_write, bool is_prefetch,
     if (keep_open) {
         readyAt_ = result.complete;
     } else {
-        closeSlot(*slot, energy);
         // Background precharge: off the critical path of this access but
         // the bank cannot re-activate until it finishes (and tRAS is met).
         const Cycle pre_start =
             std::max(result.complete, result.start + cfg_.tRAS);
+        closeSlot(*slot, pre_start, energy);
         readyAt_ = pre_start + cfg_.tRP;
     }
 

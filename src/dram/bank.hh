@@ -130,8 +130,9 @@ class Bank
     /** Predictor key unique across banks. */
     Addr predictorKey(Addr row) const;
 
-    /** Close @p slot (counts a precharge, informs the policy). */
-    void closeSlot(Slot &slot, EnergyCounters &energy);
+    /** Close @p slot at cycle @p when (counts a precharge, informs the
+     * policy, records the row-close trace event). */
+    void closeSlot(Slot &slot, Cycle when, EnergyCounters &energy);
 
     /** Apply any refreshes due before @p when: rows close, the bank is
      * unavailable for tRFC per refresh. */

@@ -1,6 +1,7 @@
 #include "mc/bliss.hh"
 
 #include "common/log.hh"
+#include "obs/obs.hh"
 
 namespace tempo {
 
@@ -63,6 +64,7 @@ BlissScheduler::pick(const std::vector<QueuedRequest> &queue,
 void
 BlissScheduler::served(const QueuedRequest &entry, Cycle now)
 {
+    Scheduler::served(entry, now); // dispatch trace hook
     maybeClear(now);
 
     const unsigned weight = isPrefetchKind(entry.req.kind)
@@ -81,8 +83,11 @@ BlissScheduler::served(const QueuedRequest &entry, Cycle now)
     // otherwise free prefetches would launder a hog's streak.
 
     if (consecutive_ >= cfg_.blissThreshold) {
-        if (blacklist_.insert(entry.req.app).second)
+        if (blacklist_.insert(entry.req.app).second) {
             ++blacklistEvents_;
+            if (auto *o = obs::session())
+                o->blissBlacklist(now, entry.req.app);
+        }
         consecutive_ = 0;
     }
 

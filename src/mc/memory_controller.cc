@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "common/profiler.hh"
+#include "obs/obs.hh"
 
 namespace tempo {
 
@@ -43,6 +44,15 @@ MemoryController::submit(MemRequest req)
     const std::size_t occupancy = channel.queue.size()
         + (channel.queue.back().req.tempo.tagged ? 1 : 0);
     highWater_ = std::max(highWater_, occupancy);
+
+    if (auto *o = obs::session()) {
+        const QueuedRequest &queued = channel.queue.back();
+        o->txqEnqueue(eq_.now(), ch,
+                      static_cast<std::uint8_t>(queued.req.kind),
+                      queued.req.walkId, occupancy);
+        if (queued.req.tempo.tagged)
+            o->txqSplit(eq_.now(), ch, queued.req.walkId);
+    }
 
     scheduleKick(ch, std::max(eq_.now(), channel.busFreeAt));
 }
@@ -106,6 +116,13 @@ MemoryController::dispatch(unsigned ch, std::size_t idx)
         entry.req.kind == ReqKind::TempoPrefetch, entry.req.app, now,
         hold);
 
+    if (entry.req.kind == ReqKind::TempoPrefetch) {
+        if (auto *o = obs::session()) {
+            o->prefetchActivate(now, entry.req.walkId, entry.req.paddr,
+                                static_cast<std::uint8_t>(result.event));
+        }
+    }
+
     // One transaction occupies the channel's command/data path per burst.
     channel.busFreeAt = now + dram_.config().tBurst;
 
@@ -151,12 +168,18 @@ MemoryController::completed(std::uint32_t slot, const DramResult &result)
     if (cfg_.tempoEnabled && entry.req.tempo.tagged) {
         if (!entry.req.tempo.pteValid) {
             ++pfFaults_; // page fault: suppressed (Sec. 4.5)
+            if (auto *o = obs::session())
+                o->prefetchFault(result.complete, entry.req.walkId);
         } else {
             firePrefetch(entry, result.complete);
         }
     }
 
     if (entry.req.kind == ReqKind::TempoPrefetch) {
+        if (auto *o = obs::session()) {
+            o->prefetchFill(result.complete, entry.req.walkId,
+                            entry.req.paddr);
+        }
         if (onTempoPrefetchFill && cfg_.tempoLlcFill)
             onTempoPrefetchFill(entry.req.paddr, entry.req.app);
         // Release any replay that merged with this prefetch.
@@ -187,18 +210,26 @@ MemoryController::firePrefetch(const QueuedRequest &pt_entry, Cycle when)
     const unsigned ch = dram_.map().decode(target).channel;
     if (channels_[ch].queue.size() >= cfg_.prefetchDropDepth) {
         ++pfDropped_;
+        if (auto *o = obs::session()) {
+            o->prefetchDrop(when, pt_entry.req.walkId,
+                            lineAddr(target));
+        }
         return;
     }
     ++pfIssued_;
     pendingPrefetch_.try_emplace(lineAddr(target));
+    if (auto *o = obs::session())
+        o->prefetchIssue(when, pt_entry.req.walkId, lineAddr(target));
 
     eq_.schedule(when + cfg_.prefetchEngineDelay,
-                 [this, line = lineAddr(target), app = pt_entry.req.app] {
+                 [this, line = lineAddr(target), app = pt_entry.req.app,
+                  walk = pt_entry.req.walkId] {
                      MemRequest pf;
                      pf.paddr = line;
                      pf.isWrite = false;
                      pf.kind = ReqKind::TempoPrefetch;
                      pf.app = app;
+                     pf.walkId = walk;
                      submit(std::move(pf));
                  });
 }
@@ -211,6 +242,18 @@ MemoryController::mergeWithPendingPrefetch(Addr line, Waiter waiter)
         return false;
     it->second.push_back(std::move(waiter));
     return true;
+}
+
+std::size_t
+MemoryController::queueOccupancy() const
+{
+    std::size_t total = 0;
+    for (const Channel &channel : channels_) {
+        total += channel.queue.size();
+        for (const QueuedRequest &queued : channel.queue)
+            total += queued.req.tempo.tagged ? 1 : 0;
+    }
+    return total;
 }
 
 std::uint64_t

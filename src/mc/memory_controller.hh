@@ -94,6 +94,16 @@ class MemoryController
     double avgQueueDelay(ReqKind kind) const;
     std::size_t queueHighWater() const { return highWater_; }
 
+    /** Current Tx-Q occupancy in slots across all channels, counting
+     * tagged PT entries twice (the paper's two-slot encoding), same as
+     * the high-water accounting in submit(). For sampling. */
+    std::size_t queueOccupancy() const;
+    /** TEMPO prefetch-engine slots currently in use. For sampling. */
+    std::size_t pendingPrefetchCount() const
+    {
+        return pendingPrefetch_.size();
+    }
+
     void report(stats::Report &out) const;
 
     /** Clear served/row/delay counters (warmup support). */

@@ -80,6 +80,11 @@ struct MemRequest {
     AppId app = 0;
     TempoTag tempo;
 
+    /** Observability walk id this request belongs to (0 = none). Lets
+     * the trace recorder join MC and DRAM events back to the walk that
+     * caused them; carried but otherwise ignored by the controller. */
+    std::uint64_t walkId = 0;
+
     /** Invoked when the access completes (may be empty). */
     InlineFunction<void(const MemResult &), kCompletionInlineBytes>
         onComplete;

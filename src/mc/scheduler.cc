@@ -1,14 +1,17 @@
 #include "mc/scheduler.hh"
 
 #include "common/log.hh"
+#include "obs/obs.hh"
 
 namespace tempo {
 
 void
 Scheduler::served(const QueuedRequest &entry, Cycle now)
 {
-    (void)entry;
-    (void)now;
+    if (auto *o = obs::session()) {
+        o->txqDispatch(now, static_cast<std::uint8_t>(entry.req.kind),
+                       entry.req.walkId, entry.req.paddr);
+    }
 }
 
 FrFcfsScheduler::FrFcfsScheduler(const SchedulerConfig &cfg) : cfg_(cfg) {}

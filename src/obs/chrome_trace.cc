@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Chrome trace-event JSON export of an observed run (the
+ * https://perfetto.dev "JSON trace" flavour).
+ *
+ * Track layout:
+ *   pid 1 "walks"      — one tid per walk id: B/E "walk" and "replay"
+ *                        spans, "pt_step"/"pt_tag" instants
+ *   pid 2 "mc"         — Tx-Q instants, one tid per channel (+ tid 0
+ *                        for dispatch/blacklist instants)
+ *   pid 3 "prefetch"   — one tid per walk id: B "tempo_prefetch" at
+ *                        issue, E at fill, activate/drop/fault instants
+ *   pid 4 "dram"       — one tid per flat bank id: B/E "row" spans
+ *   pid 5 "timeseries" — one counter ("C") track per sampled metric
+ *
+ * Timestamps are simulation cycles written as microseconds. Bank events
+ * carry future service times and refreshes close rows retroactively, so
+ * the writer clamps each track's timestamps monotone, drops end events
+ * whose begin was overwritten in the ring, and closes any span still
+ * open at the end — every emitted track nests cleanly.
+ */
+
+#include "obs/obs.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace tempo::obs {
+
+namespace {
+
+struct TrackState {
+    Cycle lastTs = 0;
+    bool any = false;
+    /** Open span names, innermost last (tiny: depth is at most 1-2). */
+    std::vector<const char *> open;
+};
+
+class Writer
+{
+  public:
+    explicit Writer(std::ostream &os) : os_(os) { os_ << "{\n\"traceEvents\": [\n"; }
+
+    void
+    meta(int pid, const char *name)
+    {
+        sep();
+        os_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+            << ",\"tid\":0,\"args\":{\"name\":\"" << name << "\"}}";
+    }
+
+    /** Begin a span; tracks nesting for close(). */
+    void
+    begin(const char *name, const char *cat, int pid, std::uint64_t tid,
+          Cycle ts, const std::string &args)
+    {
+        TrackState &track = this->track(pid, tid);
+        emit(name, cat, 'B', pid, tid, clamp(track, ts), args);
+        track.open.push_back(name);
+    }
+
+    /** End the innermost span; dropped silently when nothing is open
+     * (its begin event was overwritten in the ring). */
+    void
+    end(const char *cat, int pid, std::uint64_t tid, Cycle ts,
+        const std::string &args)
+    {
+        TrackState &track = this->track(pid, tid);
+        if (track.open.empty())
+            return;
+        const char *name = track.open.back();
+        track.open.pop_back();
+        emit(name, cat, 'E', pid, tid, clamp(track, ts), args);
+    }
+
+    void
+    instant(const char *name, const char *cat, int pid, std::uint64_t tid,
+            Cycle ts, const std::string &args)
+    {
+        TrackState &track = this->track(pid, tid);
+        emit(name, cat, 'i', pid, tid, clamp(track, ts), args);
+    }
+
+    void
+    counter(const char *name, int pid, Cycle ts, double value)
+    {
+        TrackState &track = this->track(pid, 0);
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        emit(name, "timeseries", 'C', pid, 0, clamp(track, ts),
+             std::string("{\"value\":") + buf + "}");
+    }
+
+    /** Close every span still open, then finish the document. */
+    void
+    close()
+    {
+        for (auto &[key, track] : tracks_) {
+            while (!track.open.empty()) {
+                const char *name = track.open.back();
+                track.open.pop_back();
+                emit(name, "end", 'E', key.first, key.second,
+                     track.lastTs, "{}");
+            }
+        }
+        os_ << "\n],\n\"displayTimeUnit\": \"ns\"\n}\n";
+    }
+
+  private:
+    TrackState &
+    track(int pid, std::uint64_t tid)
+    {
+        return tracks_[{pid, tid}];
+    }
+
+    Cycle
+    clamp(TrackState &track, Cycle ts)
+    {
+        if (track.any && ts < track.lastTs)
+            ts = track.lastTs;
+        track.lastTs = ts;
+        track.any = true;
+        return ts;
+    }
+
+    void
+    sep()
+    {
+        if (first_)
+            first_ = false;
+        else
+            os_ << ",\n";
+    }
+
+    void
+    emit(const char *name, const char *cat, char ph, int pid,
+         std::uint64_t tid, Cycle ts, const std::string &args)
+    {
+        sep();
+        os_ << "{\"name\":\"" << name << "\",\"cat\":\"" << cat
+            << "\",\"ph\":\"" << ph << "\",\"ts\":" << ts
+            << ",\"pid\":" << pid << ",\"tid\":" << tid
+            << ",\"args\":" << args << "}";
+    }
+
+    std::ostream &os_;
+    bool first_ = true;
+    std::map<std::pair<int, std::uint64_t>, TrackState> tracks_;
+};
+
+std::string
+hex(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "\"0x%llx\"",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+u64(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+const char *
+walkKindName(std::uint8_t kind)
+{
+    switch (static_cast<WalkKind>(kind)) {
+      case WalkKind::Demand: return "demand";
+      case WalkKind::CorePrefetch: return "core_prefetch";
+      case WalkKind::TlbPrefetch: return "tlb_prefetch";
+    }
+    return "?";
+}
+
+constexpr int kPidWalks = 1;
+constexpr int kPidMc = 2;
+constexpr int kPidPrefetch = 3;
+constexpr int kPidDram = 4;
+constexpr int kPidTimeseries = 5;
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const RunObs &run)
+{
+    Writer w(os);
+    w.meta(kPidWalks, "walks");
+    w.meta(kPidMc, "mc");
+    w.meta(kPidPrefetch, "prefetch");
+    w.meta(kPidDram, "dram");
+    w.meta(kPidTimeseries, "timeseries");
+
+    for (const TraceEvent &e : run.events) {
+        switch (e.type) {
+          case EventType::WalkBegin:
+            w.begin("walk", "walk", kPidWalks, e.walkId, e.ts,
+                    "{\"vaddr\":" + hex(e.a) + ",\"kind\":\""
+                        + walkKindName(e.arg) + "\",\"steps\":"
+                        + u64(e.b >> 16) + ",\"skipped\":"
+                        + u64(e.b & 0xffff) + "}");
+            break;
+          case EventType::WalkStep:
+            w.instant("pt_step", "walk", kPidWalks, e.walkId, e.ts,
+                      "{\"pte\":" + hex(e.a) + ",\"level\":" + u64(e.b)
+                          + ",\"found_level\":" + u64(e.arg) + "}");
+            break;
+          case EventType::PtAccessTag:
+            w.instant("pt_tag", "pt", kPidWalks, e.walkId, e.ts,
+                      "{\"pte_line\":" + hex(e.a) + ",\"replay_line\":"
+                          + hex(e.b) + ",\"pte_valid\":"
+                          + (e.arg ? "true" : "false") + "}");
+            break;
+          case EventType::WalkEnd:
+            w.end("walk", kPidWalks, e.walkId, e.ts,
+                  std::string("{\"leaf_dram\":")
+                      + (e.arg ? "true" : "false") + "}");
+            break;
+          case EventType::ReplayBegin:
+            w.begin("replay", "replay", kPidWalks, e.walkId, e.ts,
+                    "{\"paddr\":" + hex(e.a) + "}");
+            break;
+          case EventType::ReplayEnd:
+            w.end("replay", kPidWalks, e.walkId, e.ts,
+                  std::string("{\"class\":\"")
+                      + replayClassName(static_cast<ReplayClass>(e.arg))
+                      + "\"}");
+            break;
+          case EventType::TxqEnqueue:
+            w.instant("txq_enqueue", "txq", kPidMc, e.a, e.ts,
+                      "{\"occupancy\":" + u64(e.b) + ",\"walk\":"
+                          + u64(e.walkId) + "}");
+            break;
+          case EventType::TxqSplit:
+            w.instant("txq_split", "txq", kPidMc, e.a, e.ts,
+                      "{\"walk\":" + u64(e.walkId) + "}");
+            break;
+          case EventType::TxqDispatch:
+            w.instant("txq_dispatch", "txq", kPidMc, 0, e.ts,
+                      "{\"paddr\":" + hex(e.a) + ",\"walk\":"
+                          + u64(e.walkId) + "}");
+            break;
+          case EventType::PrefetchIssue:
+            w.begin("tempo_prefetch", "prefetch", kPidPrefetch, e.walkId,
+                    e.ts, "{\"line\":" + hex(e.a) + "}");
+            break;
+          case EventType::PrefetchActivate:
+            w.instant("prefetch_activate", "prefetch", kPidPrefetch,
+                      e.walkId, e.ts,
+                      "{\"line\":" + hex(e.a) + ",\"row_event\":"
+                          + u64(e.arg) + "}");
+            break;
+          case EventType::PrefetchFill:
+            w.end("prefetch", kPidPrefetch, e.walkId, e.ts,
+                  "{\"line\":" + hex(e.a) + "}");
+            break;
+          case EventType::PrefetchDrop:
+            w.instant("prefetch_drop", "prefetch", kPidPrefetch,
+                      e.walkId, e.ts, "{\"line\":" + hex(e.a) + "}");
+            break;
+          case EventType::PrefetchFault:
+            w.instant("prefetch_fault", "prefetch", kPidPrefetch,
+                      e.walkId, e.ts, "{}");
+            break;
+          case EventType::RowOpen:
+            w.begin("row", "row", kPidDram, e.a, e.ts,
+                    "{\"row\":" + hex(e.b) + "}");
+            break;
+          case EventType::RowClose:
+            w.end("row", kPidDram, e.a, e.ts,
+                  "{\"row\":" + hex(e.b) + "}");
+            break;
+          case EventType::BlissBlacklist:
+            w.instant("bliss_blacklist", "bliss", kPidMc, 0, e.ts,
+                      "{\"app\":" + u64(e.a) + "}");
+            break;
+        }
+    }
+
+    // Time-series counter tracks (column 0 is the cycle axis).
+    const TimeSeries &ts = run.timeseries;
+    if (!ts.empty()) {
+        const std::vector<double> &cycles = ts.columns[0].second;
+        // Sample-major order: all counter tracks share one (pid, tid)
+        // clamp state, so emission must be globally time-ordered.
+        for (std::size_t i = 0; i < cycles.size(); ++i) {
+            for (std::size_t c = 1; c < ts.columns.size(); ++c) {
+                w.counter(ts.columns[c].first.c_str(), kPidTimeseries,
+                          static_cast<Cycle>(cycles[i]),
+                          ts.columns[c].second[i]);
+            }
+        }
+    }
+
+    w.close();
+}
+
+void
+writeChromeTrace(const std::string &path, const RunObs &run)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("cannot write trace file " + path);
+    writeChromeTrace(os, run);
+    os.flush();
+    if (!os)
+        throw std::runtime_error("short write to trace file " + path);
+}
+
+} // namespace tempo::obs

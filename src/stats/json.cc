@@ -539,6 +539,17 @@ benchJson(const std::string &bench, std::uint64_t refs,
         for (const auto &[key, value] : point.counters)
             counters.set(key, value);
         p.set("counters", std::move(counters));
+        if (point.timeseriesWindow > 0) {
+            Json timeseries = Json::object();
+            timeseries.set("window_cycles", point.timeseriesWindow);
+            for (const auto &[column, values] : point.timeseries) {
+                Json samples = Json::array();
+                for (double v : values)
+                    samples.push(v);
+                timeseries.set(column, std::move(samples));
+            }
+            p.set("timeseries", std::move(timeseries));
+        }
         point_array.push(std::move(p));
     }
     doc.set("points", std::move(point_array));

@@ -30,7 +30,11 @@
  *         "status": "ok" | "failed" | "timed_out",
  *         "runtime_cycles": <uint>,
  *         "energy": { "core_static": <num>, ..., "total": <num> },
- *         "counters": { "<name>": <num>, ... }
+ *         "counters": { "<name>": <num>, ... },
+ *         "timeseries": {            // only when sampling was enabled
+ *           "window_cycles": <uint>,
+ *           "<column>": [ <num>, ... ], ...
+ *         }
  *       }, ...
  *     ],
  *     "failures": [
@@ -161,6 +165,12 @@ struct BenchPoint {
     std::uint64_t runtimeCycles = 0;
     std::vector<std::pair<std::string, double>> energy;
     std::vector<std::pair<std::string, double>> counters;
+
+    /** Windowed time-series sampling (ISSUE 4). Emitted as an optional
+     * per-point "timeseries" object when windowCycles > 0; absent from
+     * default runs so seed output stays byte-identical. */
+    std::uint64_t timeseriesWindow = 0;
+    std::vector<std::pair<std::string, std::vector<double>>> timeseries;
 
     // Fault-isolation fields (ISSUE 3). For "ok" points the error is
     // empty and the measured fields above are real; for "failed" /

@@ -8,6 +8,16 @@
 namespace tempo::stats {
 
 void
+Histogram::addTo(Report &report, const std::string &prefix) const
+{
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        report.add(prefix + "bucket_" + std::to_string(i), buckets_[i]);
+    report.add(prefix + "overflow", overflow_);
+    report.add(prefix + "count", count_);
+    report.add(prefix + "bucket_width", bucketWidth_);
+}
+
+void
 Report::add(const std::string &name, double value)
 {
     entries_.emplace_back(name, value);

@@ -7,6 +7,7 @@
 #ifndef TEMPO_STATS_STATS_HH
 #define TEMPO_STATS_STATS_HH
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -14,6 +15,8 @@
 #include <vector>
 
 namespace tempo::stats {
+
+class Report;
 
 /** A named 64-bit event counter. */
 class Scalar
@@ -40,12 +43,39 @@ class Distribution
     void
     sample(double v)
     {
+        // NaN would poison sum/min/max for the rest of the run; a
+        // windowed sampler can legitimately feed a NaN-producing ratio
+        // from an empty window, so ignore it rather than assert.
+        if (std::isnan(v))
+            return;
         sum_ += v;
         ++count_;
         if (count_ == 1 || v < min_)
             min_ = v;
         if (count_ == 1 || v > max_)
             max_ = v;
+    }
+
+    /**
+     * Fold another distribution into this one. An empty side contributes
+     * nothing — in particular its zero-initialised min/max never leak
+     * into the merged extrema.
+     */
+    void
+    merge(const Distribution &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        sum_ += other.sum_;
+        count_ += other.count_;
+        if (other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
     }
 
     void
@@ -84,14 +114,18 @@ class Histogram
     {
         // Range-check in double BEFORE converting: casting a negative
         // or out-of-range double to an unsigned integer is undefined
-        // behaviour. Negative samples clamp to bucket 0, oversized
-        // ones to the last bucket.
+        // behaviour. Negative samples clamp to bucket 0; oversized
+        // ones land in a dedicated overflow bucket so out-of-range
+        // mass stays visible instead of inflating the last bin.
         std::size_t idx = 0;
         if (v > 0.0) {
             const double scaled = v / bucketWidth_;
-            idx = scaled >= static_cast<double>(buckets_.size())
-                ? buckets_.size() - 1
-                : static_cast<std::size_t>(scaled);
+            if (scaled >= static_cast<double>(buckets_.size())) {
+                ++overflow_;
+                ++count_;
+                return;
+            }
+            idx = static_cast<std::size_t>(scaled);
         }
         ++buckets_[idx];
         ++count_;
@@ -99,20 +133,30 @@ class Histogram
 
     std::uint64_t count() const { return count_; }
     std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::uint64_t overflow() const { return overflow_; }
     std::size_t numBuckets() const { return buckets_.size(); }
     double bucketWidth() const { return bucketWidth_; }
+
+    /**
+     * Append "<prefix>bucket_<i>" per bin plus "<prefix>overflow",
+     * "<prefix>count" and "<prefix>bucket_width" to a report, so
+     * histograms show up in text/CSV/JSON dumps alongside scalars.
+     */
+    void addTo(Report &report, const std::string &prefix) const;
 
     void
     reset()
     {
         for (auto &b : buckets_)
             b = 0;
+        overflow_ = 0;
         count_ = 0;
     }
 
   private:
     double bucketWidth_;
     std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
     std::uint64_t count_ = 0;
 };
 

@@ -26,6 +26,7 @@ Walker::plan(Addr vaddr)
             ++ptRefs_;
         } else {
             ++ptRefsSkipped_;
+            ++plan.skipped;
         }
     }
     // An MMU-cache hit can only exist for entries a previous walk

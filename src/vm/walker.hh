@@ -28,6 +28,11 @@ struct WalkPlan {
     std::vector<WalkStep> fetches;
     /** Final translation; !valid means the walk faults. */
     Translation xlate;
+    /** Levels the MMU caches satisfied (fetches skipped). */
+    int skipped = 0;
+    /** Observability walk id assigned by the issuer (0 = none); carried
+     * so PT memory requests can be joined back to their walk. */
+    std::uint64_t obsWalkId = 0;
 };
 
 class Walker

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "stats/stats.hh"
@@ -38,19 +39,74 @@ TEST(Distribution, TracksMinMaxMean)
     EXPECT_EQ(d.count(), 0u);
 }
 
+TEST(Distribution, IgnoresNan)
+{
+    // A NaN sample would poison sum/min/max for the rest of the run;
+    // windowed samplers can legitimately produce one from an empty
+    // window's ratio, so it must be dropped, not asserted on.
+    Distribution d;
+    d.sample(std::nan(""));
+    EXPECT_EQ(d.count(), 0u);
+    d.sample(4);
+    d.sample(std::nan(""));
+    d.sample(8);
+    EXPECT_EQ(d.count(), 2u);
+    EXPECT_DOUBLE_EQ(d.mean(), 6.0);
+    EXPECT_DOUBLE_EQ(d.min(), 4.0);
+    EXPECT_DOUBLE_EQ(d.max(), 8.0);
+}
+
+TEST(Distribution, MergeFoldsWindows)
+{
+    Distribution total;
+    Distribution window;
+
+    // Empty into empty, and empty into full: nothing changes, and the
+    // empty side's zero-initialised min/max never leak into extrema.
+    total.merge(window);
+    EXPECT_EQ(total.count(), 0u);
+    total.sample(5);
+    total.sample(7);
+    total.merge(window);
+    EXPECT_EQ(total.count(), 2u);
+    EXPECT_DOUBLE_EQ(total.min(), 5.0);
+
+    // Full into empty copies the source.
+    Distribution fresh;
+    fresh.merge(total);
+    EXPECT_EQ(fresh.count(), 2u);
+    EXPECT_DOUBLE_EQ(fresh.min(), 5.0);
+    EXPECT_DOUBLE_EQ(fresh.max(), 7.0);
+
+    // Full into full sums counts and widens the extrema.
+    window.sample(1);
+    window.sample(20);
+    total.merge(window);
+    EXPECT_EQ(total.count(), 4u);
+    EXPECT_DOUBLE_EQ(total.sum(), 33.0);
+    EXPECT_DOUBLE_EQ(total.min(), 1.0);
+    EXPECT_DOUBLE_EQ(total.max(), 20.0);
+}
+
 TEST(Histogram, BucketsSamples)
 {
+    // Pins in-range behaviour: bucket edges are [i*w, (i+1)*w) and an
+    // out-of-range sample must NOT inflate the last bin.
     Histogram h(10.0, 4);
     h.sample(0);
     h.sample(9.9);
     h.sample(10);
     h.sample(35);
-    h.sample(1000); // clamps to last bucket
+    h.sample(1000); // out of range: counted in the overflow bucket
     EXPECT_EQ(h.count(), 5u);
     EXPECT_EQ(h.bucket(0), 2u);
     EXPECT_EQ(h.bucket(1), 1u);
     EXPECT_EQ(h.bucket(2), 0u);
-    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
 }
 
 TEST(Histogram, NegativeSamplesClampToFirstBucket)
@@ -69,13 +125,34 @@ TEST(Histogram, NegativeSamplesClampToFirstBucket)
     EXPECT_EQ(h.bucket(3), 0u);
 }
 
-TEST(Histogram, HugeSamplesClampToLastBucket)
+TEST(Histogram, HugeSamplesLandInOverflow)
 {
-    // Values whose scaled index exceeds size_t range must also clamp
-    // without ever performing an out-of-range float->int conversion.
+    // Values whose scaled index exceeds the bucket range are counted in
+    // the overflow bucket without ever performing an out-of-range
+    // float->int conversion.
     Histogram h(1.0, 4);
     h.sample(1e30);
+    h.sample(4.0); // exactly one past the last edge
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucket(3), 0u);
+    h.sample(3.999);
     EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(Histogram, AddToEmitsBucketsAndOverflow)
+{
+    Histogram h(10.0, 2);
+    h.sample(5);
+    h.sample(15);
+    h.sample(99); // overflow
+    Report r;
+    h.addTo(r, "lat.");
+    EXPECT_DOUBLE_EQ(r.get("lat.bucket_0"), 1.0);
+    EXPECT_DOUBLE_EQ(r.get("lat.bucket_1"), 1.0);
+    EXPECT_DOUBLE_EQ(r.get("lat.overflow"), 1.0);
+    EXPECT_DOUBLE_EQ(r.get("lat.count"), 3.0);
+    EXPECT_DOUBLE_EQ(r.get("lat.bucket_width"), 10.0);
 }
 
 TEST(Ratio, HandlesZeroDenominator)

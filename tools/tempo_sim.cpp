@@ -21,6 +21,7 @@
 #include "cli/options.hh"
 #include "common/profiler.hh"
 #include "core/experiment.hh"
+#include "obs/obs.hh"
 #include "trace/trace.hh"
 
 namespace {
@@ -99,6 +100,16 @@ main(int argc, char **argv)
     const SystemConfig cfg = toConfig(options);
     prof::setEnabled(options.profile);
 
+    // Observability: environment first, explicit flags on top.
+    obs::Config obs_cfg = obs::configFromEnv();
+    if (!options.tracePath.empty())
+        obs_cfg.trace = true;
+    if (!options.traceFilter.empty())
+        obs_cfg.categories = obs::parseCategories(options.traceFilter);
+    if (options.timeseriesWindow > 0)
+        obs_cfg.timeseriesWindow = options.timeseriesWindow;
+    obs::configure(obs_cfg);
+
     if (!options.traceOut.empty()) {
         auto workload = workloadFactory(options, cfg.seed)();
         const Trace trace = recordTrace(*workload, options.refs);
@@ -160,6 +171,37 @@ main(int argc, char **argv)
                      "point %zu (%s): %s after %u attempt(s): %s\n", i,
                      points[i].workload.c_str(), status.codeName(),
                      status.attempts, status.error.c_str());
+    }
+
+    // Pipeline traces: the explicit --trace path names point 0; extra
+    // points (--compare) get ".1", ".2", ... suffixes. With only
+    // TEMPO_TRACE_DIR set, files land there as TRACE_tempo_sim_<i>.json.
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &run_obs = results[i].obs;
+        if (!run_obs || !run_obs->cfg.trace)
+            continue; // obs off, or point restored from a checkpoint
+        std::string path = options.tracePath;
+        if (!path.empty()) {
+            if (i > 0)
+                path += "." + std::to_string(i);
+        } else if (!obs::config().traceDir.empty()) {
+            path = obs::config().traceDir + "/TRACE_tempo_sim_"
+                + std::to_string(i) + ".json";
+        } else {
+            continue;
+        }
+        try {
+            obs::writeChromeTrace(path, *run_obs);
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+            return 1;
+        }
+        std::printf("wrote %s (%llu events, %llu dropped)\n",
+                    path.c_str(),
+                    static_cast<unsigned long long>(
+                        run_obs->events.size()),
+                    static_cast<unsigned long long>(
+                        run_obs->droppedEvents));
     }
 
     const RunResult &result = results.front();

@@ -27,6 +27,7 @@
 #include "cli/strings.hh"
 #include "common/profiler.hh"
 #include "core/experiment.hh"
+#include "obs/obs.hh"
 
 namespace {
 
@@ -144,6 +145,10 @@ main(int argc, char **argv)
 {
     const SweepArgs args = parseArgs(argc, argv);
     prof::setEnabled(args.profile);
+    // Observability is environment-driven here (TEMPO_TRACE_DIR,
+    // TEMPO_TRACE_FILTER, TEMPO_TIMESERIES_WINDOW); time series land in
+    // the --json output, traces in TEMPO_TRACE_DIR.
+    obs::configure(obs::configFromEnv());
 
     // One point per value, plus the TEMPO twin when comparing. All
     // points are independent: each builds its own config and workload
@@ -215,6 +220,24 @@ main(int argc, char **argv)
                      args.values[i / (args.compare ? 2 : 1)].c_str(),
                      status.codeName(), status.attempts,
                      status.error.c_str());
+    }
+
+    // Pipeline traces (TEMPO_TRACE_DIR only; no --trace flag here).
+    if (!obs::config().traceDir.empty()) {
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto &run_obs = results[i].obs;
+            if (!run_obs || !run_obs->cfg.trace)
+                continue; // obs off, or point restored from a checkpoint
+            const std::string path = obs::config().traceDir
+                + "/TRACE_tempo_sweep_" + std::to_string(i) + ".json";
+            try {
+                obs::writeChromeTrace(path, *run_obs);
+            } catch (const std::exception &error) {
+                std::fprintf(stderr, "error: %s\n", error.what());
+                return 1;
+            }
+            std::fprintf(stderr, "wrote %s\n", path.c_str());
+        }
     }
 
     std::printf("%s,runtime,energy,tlb_miss_rate,dram_ptw_frac,"
