@@ -49,9 +49,14 @@ AddressMap::sameRow(Addr a, Addr b) const
 unsigned
 AddressMap::segment(Addr paddr, unsigned sub_rows) const
 {
+    return segmentOfCol(decode(paddr).col, sub_rows);
+}
+
+unsigned
+AddressMap::segmentOfCol(unsigned col, unsigned sub_rows) const
+{
     TEMPO_ASSERT(sub_rows > 0 && isPow2(sub_rows),
                  "sub-row count must be a nonzero power of two");
-    const unsigned col = decode(paddr).col;
     const unsigned cols_per_segment =
         static_cast<unsigned>((rowBytes_ / kLineBytes) / sub_rows);
     return col / cols_per_segment;

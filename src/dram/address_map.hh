@@ -58,6 +58,10 @@ class AddressMap
      * falls into, for @p sub_rows sub-row buffers per bank. */
     unsigned segment(Addr paddr, unsigned sub_rows) const;
 
+    /** segment() for a caller that already decoded the column — skips
+     * re-decoding the whole address. */
+    unsigned segmentOfCol(unsigned col, unsigned sub_rows) const;
+
     unsigned colBits() const { return colBits_; }
 
   private:

@@ -64,6 +64,15 @@ Bank::openRow(unsigned i) const
     return slot.valid ? slot.row : kInvalidAddr;
 }
 
+void
+Bank::visitOpenSlots(const std::function<void(Addr, unsigned)> &fn) const
+{
+    for (const Slot &slot : slots_) {
+        if (slot.valid)
+            fn(slot.row, slot.segment);
+    }
+}
+
 Bank::Slot *
 Bank::pickVictim(bool is_prefetch, AppId app)
 {
@@ -121,6 +130,8 @@ Bank::closeSlot(Slot &slot, Cycle when, EnergyCounters &energy)
     policy_->rowClosed(predictorKey(slot.row), slot.hitsWhileOpen);
     if (auto *o = obs::session())
         o->rowClose(when, bankId_, slot.row);
+    if (listener_)
+        listener_->rowClosed(bankId_, slot.row, slot.segment);
     slot.valid = false;
     slot.hitsWhileOpen = 0;
     slot.holdUntil = 0;
@@ -140,6 +151,8 @@ Bank::applyRefresh(Cycle when, EnergyCounters &energy)
                                    slot.hitsWhileOpen);
                 if (auto *o = obs::session())
                     o->rowClose(nextRefreshAt_, bankId_, slot.row);
+                if (listener_)
+                    listener_->rowClosed(bankId_, slot.row, slot.segment);
                 slot.valid = false;
                 slot.hitsWhileOpen = 0;
                 slot.holdUntil = 0;
@@ -193,6 +206,8 @@ Bank::access(Addr row, unsigned segment, bool is_write, bool is_prefetch,
         slot->actAt = result.start;
         if (auto *o = obs::session())
             o->rowOpen(result.start, bankId_, row);
+        if (listener_)
+            listener_->rowOpened(bankId_, row, segment);
     }
 
     if (is_write)

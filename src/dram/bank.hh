@@ -16,6 +16,7 @@
 #define TEMPO_DRAM_BANK_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/types.hh"
@@ -23,6 +24,23 @@
 #include "dram/row_policy.hh"
 
 namespace tempo {
+
+/**
+ * Observer for row-buffer transitions. The memory controller's indexed
+ * transaction queue subscribes so its per-bank row-hit lookaside tracks
+ * exactly the rows a scheduler-time wouldHit() would see: a slot counts
+ * as open from the activation inside access() until the precharge that
+ * closes it (policy close, conflict eviction, or refresh).
+ */
+class RowTransitionListener
+{
+  public:
+    virtual ~RowTransitionListener() = default;
+    virtual void rowOpened(unsigned flat_bank, Addr row,
+                           unsigned segment) = 0;
+    virtual void rowClosed(unsigned flat_bank, Addr row,
+                           unsigned segment) = 0;
+};
 
 /** What the row buffer did for an access. */
 enum class RowEvent : std::uint8_t {
@@ -108,6 +126,17 @@ class Bank
     /** Row currently open in slot @p i, or kInvalidAddr. */
     Addr openRow(unsigned i) const;
 
+    /** Subscribe to row open/close transitions (nullptr detaches). */
+    void setListener(RowTransitionListener *listener)
+    {
+        listener_ = listener;
+    }
+
+    /** Invoke @p fn(row, segment) for each currently-latched slot, so a
+     * listener attached mid-run can synchronize its open-row view. */
+    void visitOpenSlots(
+        const std::function<void(Addr, unsigned)> &fn) const;
+
   private:
     struct Slot {
         bool valid = false;
@@ -141,6 +170,7 @@ class Bank
     const DramConfig &cfg_;
     unsigned bankId_;
     RowPolicy *policy_;
+    RowTransitionListener *listener_ = nullptr;
     std::vector<Slot> slots_;
     Cycle readyAt_ = 0;
     Cycle nextRefreshAt_ = 0;

@@ -55,6 +55,24 @@ DramDevice::bankReadyAt(Addr paddr) const
     return banks_[coord.flatBank(cfg_)].readyAt();
 }
 
+void
+DramDevice::setRowListener(RowTransitionListener *listener)
+{
+    for (Bank &bank : banks_)
+        bank.setListener(listener);
+}
+
+void
+DramDevice::visitOpenRows(
+    const std::function<void(unsigned, Addr, unsigned)> &fn) const
+{
+    for (unsigned i = 0; i < banks_.size(); ++i) {
+        banks_[i].visitOpenSlots([&](Addr row, unsigned segment) {
+            fn(i, row, segment);
+        });
+    }
+}
+
 double
 DramDevice::dynamicEnergy() const
 {

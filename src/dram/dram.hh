@@ -48,6 +48,26 @@ class DramDevice
     /** Earliest cycle the bank owning @p paddr can start an access. */
     Cycle bankReadyAt(Addr paddr) const;
 
+    /** Same, by flat bank index — lets a caller that already decoded the
+     * address (the indexed Tx queue) skip the decode. */
+    Cycle bankReadyAtFlat(unsigned flat_bank) const
+    {
+        return banks_[flat_bank].readyAt();
+    }
+
+    /**
+     * Subscribe @p listener to row open/close transitions across all
+     * banks (nullptr detaches). Listener callbacks receive the flat bank
+     * index. One listener at a time; the memory controller's transaction
+     * queue owns the slot.
+     */
+    void setRowListener(RowTransitionListener *listener);
+
+    /** Invoke @p fn(flat_bank, row, segment) for every currently-open
+     * row, so a listener attached mid-run starts synchronized. */
+    void visitOpenRows(
+        const std::function<void(unsigned, Addr, unsigned)> &fn) const;
+
     const AddressMap &map() const { return map_; }
     const DramConfig &config() const { return cfg_; }
 

@@ -1,5 +1,7 @@
 #include "mc/bliss.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 #include "obs/obs.hh"
 
@@ -13,51 +15,60 @@ BlissScheduler::BlissScheduler(const SchedulerConfig &cfg)
 bool
 BlissScheduler::isBlacklisted(AppId app) const
 {
-    return blacklist_.count(app) > 0;
+    return app < blacklist_.size() && blacklist_[app] != 0;
 }
 
 void
 BlissScheduler::maybeClear(Cycle now)
 {
     if (now - lastClear_ >= cfg_.blissClearInterval) {
-        blacklist_.clear();
+        std::fill(blacklist_.begin(), blacklist_.end(), 0);
         lastClear_ = now;
     }
 }
 
-std::size_t
-BlissScheduler::pick(const std::vector<QueuedRequest> &queue,
+std::uint32_t
+BlissScheduler::pick(const TxQueue &txq, unsigned ch,
                      const DramDevice &dram, Cycle now)
 {
-    TEMPO_ASSERT(!queue.empty(), "pick on empty queue");
-    maybeClear(now);
+    (void)dram;
+    TEMPO_ASSERT(!txq.empty(ch), "pick on empty queue");
+    TEMPO_ASSERT(txq.perAppIndex(),
+                 "BLISS needs per-app sub-FIFOs: entries of one "
+                 "candidate FIFO must share their blacklist status");
+    maybeClear(now); // before the fast path: lastClear_ must advance on
+                     // the same cadence as the reference scheduler's
+    // Shallow queues dominate real runs: a single queued request is
+    // the argmax by definition, no scoring needed.
+    if (txq.size(ch) == 1)
+        return txq.seqHead(ch);
 
     // TEMPO stream-switch rule: the prefetch triggered by the PT access we
     // just served goes first, regardless of blacklisting.
     if (pendingPrefetchAffinity_) {
-        for (std::size_t i = 0; i < queue.size(); ++i) {
-            const MemRequest &req = queue[i].req;
-            if (req.kind == ReqKind::TempoPrefetch
-                && req.app == affinityApp_) {
-                return i;
-            }
-        }
+        const std::uint32_t pf = txq.minSeqPrefetch(ch, affinityApp_);
+        if (pf != TxQueue::kNone)
+            return pf;
     }
 
-    std::size_t best = 0;
-    std::uint64_t best_score = 0;
-    for (std::size_t i = 0; i < queue.size(); ++i) {
-        // Non-blacklisted apps outrank blacklisted ones; within each group
-        // the FR-FCFS base order applies. baseScore's class field tops out
-        // at 15, so shifting by a whole class byte keeps ordering intact.
-        const std::uint64_t base = baseScore(queue[i], dram, now);
-        const std::uint64_t score =
-            base | (isBlacklisted(queue[i].req.app) ? 0ull : 1ull << 40);
-        if (i == 0 || score > best_score) {
-            best = i;
-            best_score = score;
-        }
-    }
+    // Non-blacklisted apps outrank blacklisted ones; within each group
+    // the FR-FCFS base order applies. Entries of one (bank, app, group)
+    // sub-FIFO share their blacklist status, so the index's candidate
+    // heads still cover the argmax.
+    std::uint32_t best = TxQueue::kNone;
+    unsigned __int128 best_key = 0; // loses to every real packed key
+    txq.forEachCandidate(
+        ch, now,
+        [&](std::uint32_t id, const QueuedRequest &entry, bool row_hit,
+            bool bank_ready) {
+            const unsigned __int128 key =
+                blissKey(entry, row_hit, bank_ready, now).packed();
+            if (key > best_key) {
+                best = id;
+                best_key = key;
+            }
+        });
+    TEMPO_ASSERT(best != TxQueue::kNone, "no candidate in non-empty queue");
     return best;
 }
 
@@ -83,7 +94,10 @@ BlissScheduler::served(const QueuedRequest &entry, Cycle now)
     // otherwise free prefetches would launder a hog's streak.
 
     if (consecutive_ >= cfg_.blissThreshold) {
-        if (blacklist_.insert(entry.req.app).second) {
+        if (entry.req.app >= blacklist_.size())
+            blacklist_.resize(entry.req.app + 1u, 0);
+        if (blacklist_[entry.req.app] == 0) {
+            blacklist_[entry.req.app] = 1;
             ++blacklistEvents_;
             if (auto *o = obs::session())
                 o->blissBlacklist(now, entry.req.app);

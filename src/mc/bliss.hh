@@ -9,13 +9,17 @@
  *    configurable weight (the paper finds half weight best — Fig. 16L);
  *  - after a page-table access is served, its TEMPO prefetch is served
  *    before the controller switches to another application's stream.
+ *
+ * Picks are incremental: the affinity rule resolves through the TxQueue
+ * per-app prefetch heads, and the blacklist-aware argmax scores the same
+ * candidate heads as FR-FCFS — every entry of one (bank, app, group)
+ * sub-FIFO shares its blacklist status, so heads still dominate.
  */
 
 #ifndef TEMPO_MC_BLISS_HH
 #define TEMPO_MC_BLISS_HH
 
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "mc/scheduler.hh"
 
@@ -26,8 +30,8 @@ class BlissScheduler : public FrFcfsScheduler
   public:
     explicit BlissScheduler(const SchedulerConfig &cfg);
 
-    std::size_t pick(const std::vector<QueuedRequest> &queue,
-                     const DramDevice &dram, Cycle now) override;
+    std::uint32_t pick(const TxQueue &txq, unsigned ch,
+                       const DramDevice &dram, Cycle now) override;
 
     void served(const QueuedRequest &entry, Cycle now) override;
 
@@ -37,10 +41,28 @@ class BlissScheduler : public FrFcfsScheduler
     /** Number of blacklisting episodes so far. */
     std::uint64_t blacklistEvents() const { return blacklistEvents_; }
 
-  private:
+  protected:
     void maybeClear(Cycle now);
 
-    std::unordered_set<AppId> blacklist_;
+    /** scoreKey with the not-blacklisted bit folded in above every base
+     * class (blacklisting dominates even the starvation class, as in
+     * the original bit-packed encoding). */
+    SchedKey
+    blissKey(const QueuedRequest &entry, bool row_hit, bool bank_ready,
+             Cycle now) const
+    {
+        SchedKey key = scoreKey(entry, row_hit, bank_ready, now);
+        if (!isBlacklisted(entry.req.app))
+            key.klass |= kNotBlacklistedBit;
+        return key;
+    }
+
+    static constexpr std::uint64_t kNotBlacklistedBit = 1ull << 8;
+
+    /** Blacklist as a flat per-app flag array: isBlacklisted runs once
+     * per pick candidate, so it must be an indexed load, not a hash
+     * probe. Grown on demand; app ids are small dense integers. */
+    std::vector<std::uint8_t> blacklist_;
     AppId lastApp_ = ~AppId{0};
     unsigned consecutive_ = 0;
     Cycle lastClear_ = 0;

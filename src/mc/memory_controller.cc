@@ -1,26 +1,51 @@
 #include "mc/memory_controller.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/log.hh"
 #include "common/profiler.hh"
+#include "mc/reference_scheduler.hh"
 #include "obs/obs.hh"
 
 namespace tempo {
 
+namespace {
+
+/** Test/CI knob: force the retained flat-scan reference schedulers.
+ * Results are bit-identical; only the pick cost differs. */
+bool
+envReferenceScheduler()
+{
+    const char *v = std::getenv("TEMPO_REFERENCE_SCHEDULER");
+    return v != nullptr && v[0] != '\0'
+        && !(v[0] == '0' && v[1] == '\0');
+}
+
+} // namespace
+
 MemoryController::MemoryController(EventQueue &eq, DramDevice &dram,
                                    const McConfig &cfg)
-    : eq_(eq), dram_(dram), cfg_(cfg)
+    : eq_(eq), dram_(dram), cfg_(cfg),
+      txq_(dram, /*per_app_index=*/cfg.sched == SchedKind::Bliss)
 {
     SchedulerConfig sched_cfg = cfg.scheduler;
     sched_cfg.tempoGrouping = cfg.tempoEnabled && cfg.tempoGrouping;
     sched_cfg.blissTempoAffinity = cfg.tempoEnabled;
+    const bool use_ref =
+        sched_cfg.useReferenceScheduler || envReferenceScheduler();
     switch (cfg.sched) {
       case SchedKind::FrFcfs:
-        sched_ = std::make_unique<FrFcfsScheduler>(sched_cfg);
+        if (use_ref)
+            sched_ = std::make_unique<RefFrFcfsScheduler>(sched_cfg);
+        else
+            sched_ = std::make_unique<FrFcfsScheduler>(sched_cfg);
         break;
       case SchedKind::Bliss:
-        sched_ = std::make_unique<BlissScheduler>(sched_cfg);
+        if (use_ref)
+            sched_ = std::make_unique<RefBlissScheduler>(sched_cfg);
+        else
+            sched_ = std::make_unique<BlissScheduler>(sched_cfg);
         break;
     }
     channels_.resize(dram.config().channels);
@@ -29,24 +54,33 @@ MemoryController::MemoryController(EventQueue &eq, DramDevice &dram,
 void
 MemoryController::submit(MemRequest req)
 {
+    const DramCoord coord = dram_.map().decode(req.paddr);
+    submitDecoded(std::move(req), coord);
+}
+
+void
+MemoryController::submitDecoded(MemRequest req, const DramCoord &coord)
+{
     prof::Scope prof_scope(prof::Component::Mc);
-    const unsigned ch = dram_.map().decode(req.paddr).channel;
+    const unsigned ch = coord.channel;
     Channel &channel = channels_[ch];
 
     QueuedRequest entry;
     entry.req = std::move(req);
     entry.arrival = eq_.now();
     entry.seq = seq_++;
-    channel.queue.push_back(std::move(entry));
+    const std::uint32_t id = txq_.enqueue(std::move(entry), coord);
+    const QueuedRequest &queued = txq_.entry(id);
 
     // A TEMPO-tagged PT request occupies two Tx Q slots (the paper splits
-    // it rather than widening the queue); track that in occupancy.
-    const std::size_t occupancy = channel.queue.size()
-        + (channel.queue.back().req.tempo.tagged ? 1 : 0);
+    // it rather than widening the queue). The high-water mark keeps its
+    // historical accounting — channel depth plus the split of the entry
+    // just added — while queueOccupancy() reports every split.
+    const std::size_t occupancy =
+        txq_.size(ch) + (queued.req.tempo.tagged ? 1 : 0);
     highWater_ = std::max(highWater_, occupancy);
 
     if (auto *o = obs::session()) {
-        const QueuedRequest &queued = channel.queue.back();
         o->txqEnqueue(eq_.now(), ch,
                       static_cast<std::uint8_t>(queued.req.kind),
                       queued.req.walkId, occupancy);
@@ -75,28 +109,29 @@ MemoryController::kick(unsigned ch)
 {
     prof::Scope prof_scope(prof::Component::Mc);
     Channel &channel = channels_[ch];
-    if (channel.queue.empty())
+    if (txq_.empty(ch))
         return;
     const Cycle now = eq_.now();
     if (now < channel.busFreeAt) {
         scheduleKick(ch, channel.busFreeAt);
         return;
     }
-    const std::size_t idx = sched_->pick(channel.queue, dram_, now);
-    dispatch(ch, idx);
-    if (!channel.queue.empty())
+    const std::uint32_t id = sched_->pick(txq_, ch, dram_, now);
+    dispatch(ch, id);
+    if (!txq_.empty(ch))
         scheduleKick(ch, channel.busFreeAt);
 }
 
 void
-MemoryController::dispatch(unsigned ch, std::size_t idx)
+MemoryController::dispatch(unsigned ch, std::uint32_t id)
 {
     Channel &channel = channels_[ch];
-    TEMPO_ASSERT(idx < channel.queue.size(), "dispatch out of range");
-
-    QueuedRequest entry = std::move(channel.queue[idx]);
-    channel.queue.erase(channel.queue.begin()
-                        + static_cast<std::ptrdiff_t>(idx));
+    // Unlink from the scheduling index; the slot stays allocated as the
+    // in-flight record until completed() takes it. No submit can happen
+    // between here and the event schedule below, so the reference is
+    // stable.
+    txq_.remove(id);
+    const QueuedRequest &entry = txq_.entry(id);
 
     const Cycle now = eq_.now();
     sched_->served(entry, now);
@@ -126,31 +161,17 @@ MemoryController::dispatch(unsigned ch, std::size_t idx)
     // One transaction occupies the channel's command/data path per burst.
     channel.busFreeAt = now + dram_.config().tBurst;
 
-    const std::uint32_t slot = parkInFlight(std::move(entry));
     eq_.schedule(result.complete,
-                 [this, slot, result] { completed(slot, result); });
-}
-
-std::uint32_t
-MemoryController::parkInFlight(QueuedRequest entry)
-{
-    if (freeSlot_ == kNoSlot) {
-        inFlight_.push_back(InFlight{std::move(entry), kNoSlot});
-        return static_cast<std::uint32_t>(inFlight_.size() - 1);
-    }
-    const std::uint32_t slot = freeSlot_;
-    freeSlot_ = inFlight_[slot].nextFree;
-    inFlight_[slot].entry = std::move(entry);
-    return slot;
+                 [this, id, result] { completed(id, result); });
 }
 
 void
 MemoryController::completed(std::uint32_t slot, const DramResult &result)
 {
     prof::Scope prof_scope(prof::Component::Mc);
-    QueuedRequest entry = std::move(inFlight_[slot].entry);
-    inFlight_[slot].nextFree = freeSlot_;
-    freeSlot_ = slot;
+    // Move the request out and free the slot first: the callbacks below
+    // may re-entrantly submit() and grow the arena.
+    QueuedRequest entry = txq_.take(slot);
 
     const auto kind_idx = static_cast<std::size_t>(entry.req.kind);
     TEMPO_ASSERT(kind_idx < kKinds, "bad kind");
@@ -207,22 +228,24 @@ MemoryController::firePrefetch(const QueuedRequest &pt_entry, Cycle when)
     const Addr target = pt_entry.req.tempo.replayPaddr;
     TEMPO_ASSERT(target != kInvalidAddr, "tagged PT without target");
 
-    const unsigned ch = dram_.map().decode(target).channel;
-    if (channels_[ch].queue.size() >= cfg_.prefetchDropDepth) {
+    // Decode the prefetch line once: the drop check and the delayed
+    // submit share the coordinates (lineAddr only clears offset bits
+    // below the column field, so the decode matches the full target's).
+    const Addr line = lineAddr(target);
+    const DramCoord coord = dram_.map().decode(line);
+    if (txq_.size(coord.channel) >= cfg_.prefetchDropDepth) {
         ++pfDropped_;
-        if (auto *o = obs::session()) {
-            o->prefetchDrop(when, pt_entry.req.walkId,
-                            lineAddr(target));
-        }
+        if (auto *o = obs::session())
+            o->prefetchDrop(when, pt_entry.req.walkId, line);
         return;
     }
     ++pfIssued_;
-    pendingPrefetch_.try_emplace(lineAddr(target));
+    pendingPrefetch_.try_emplace(line);
     if (auto *o = obs::session())
-        o->prefetchIssue(when, pt_entry.req.walkId, lineAddr(target));
+        o->prefetchIssue(when, pt_entry.req.walkId, line);
 
     eq_.schedule(when + cfg_.prefetchEngineDelay,
-                 [this, line = lineAddr(target), app = pt_entry.req.app,
+                 [this, line, coord, app = pt_entry.req.app,
                   walk = pt_entry.req.walkId] {
                      MemRequest pf;
                      pf.paddr = line;
@@ -230,7 +253,7 @@ MemoryController::firePrefetch(const QueuedRequest &pt_entry, Cycle when)
                      pf.kind = ReqKind::TempoPrefetch;
                      pf.app = app;
                      pf.walkId = walk;
-                     submit(std::move(pf));
+                     submitDecoded(std::move(pf), coord);
                  });
 }
 
@@ -247,13 +270,7 @@ MemoryController::mergeWithPendingPrefetch(Addr line, Waiter waiter)
 std::size_t
 MemoryController::queueOccupancy() const
 {
-    std::size_t total = 0;
-    for (const Channel &channel : channels_) {
-        total += channel.queue.size();
-        for (const QueuedRequest &queued : channel.queue)
-            total += queued.req.tempo.tagged ? 1 : 0;
-    }
-    return total;
+    return txq_.totalOccupancy();
 }
 
 std::uint64_t

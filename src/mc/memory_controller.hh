@@ -1,16 +1,22 @@
 /**
  * @file
- * The memory controller: per-channel transaction queues, a pluggable
- * scheduler, and TEMPO's additions — the PT? detector that recognizes
- * tagged leaf page-table requests, and the Prefetch Engine FSM that turns
- * a completed PT read into a post-translation prefetch (paper Sec. 4.1).
+ * The memory controller: an indexed per-channel transaction queue, a
+ * pluggable scheduler, and TEMPO's additions — the PT? detector that
+ * recognizes tagged leaf page-table requests, and the Prefetch Engine FSM
+ * that turns a completed PT read into a post-translation prefetch (paper
+ * Sec. 4.1).
+ *
+ * Requests live in one TxQueue slot from submit to completion: the queue
+ * decodes DRAM coordinates once at enqueue, dispatch unlinks the slot
+ * from the scheduling index but keeps it as the in-flight record, and the
+ * completion event releases it. Nothing is copied or compacted in
+ * between.
  */
 
 #ifndef TEMPO_MC_MEMORY_CONTROLLER_HH
 #define TEMPO_MC_MEMORY_CONTROLLER_HH
 
 #include <functional>
-#include <limits>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +27,7 @@
 #include "mc/bliss.hh"
 #include "mc/request.hh"
 #include "mc/scheduler.hh"
+#include "mc/tx_queue.hh"
 #include "stats/stats.hh"
 
 namespace tempo {
@@ -95,8 +102,8 @@ class MemoryController
     std::size_t queueHighWater() const { return highWater_; }
 
     /** Current Tx-Q occupancy in slots across all channels, counting
-     * tagged PT entries twice (the paper's two-slot encoding), same as
-     * the high-water accounting in submit(). For sampling. */
+     * tagged PT entries twice (the paper's two-slot encoding). O(1):
+     * served from the queue's incrementally maintained counter. */
     std::size_t queueOccupancy() const;
     /** TEMPO prefetch-engine slots currently in use. For sampling. */
     std::size_t pendingPrefetchCount() const
@@ -114,39 +121,32 @@ class MemoryController
     /** The active scheduler (exposed for tests). */
     Scheduler &scheduler() { return *sched_; }
 
+    /** The indexed transaction queue (exposed for tests). */
+    const TxQueue &txQueue() const { return txq_; }
+
   private:
     struct Channel {
-        std::vector<QueuedRequest> queue;
         Cycle busFreeAt = 0;
         bool kickPending = false;
     };
 
+    /** Submit with the target's DRAM coordinates already decoded (the
+     * prefetch engine decodes once for its drop check and reuses it). */
+    void submitDecoded(MemRequest req, const DramCoord &coord);
+
     void kick(unsigned ch);
     void scheduleKick(unsigned ch, Cycle when);
-    void dispatch(unsigned ch, std::size_t idx);
+    void dispatch(unsigned ch, std::uint32_t id);
     void completed(std::uint32_t slot, const DramResult &result);
     void firePrefetch(const QueuedRequest &pt_entry, Cycle when);
-
-    /** Park a dispatched transaction until its completion event; the
-     * event captures only (this, slot, result), so it always fits the
-     * queue's inline storage. Slots are recycled through a freelist. */
-    std::uint32_t parkInFlight(QueuedRequest entry);
 
     EventQueue &eq_;
     DramDevice &dram_;
     McConfig cfg_;
     std::unique_ptr<Scheduler> sched_;
+    TxQueue txq_;
     std::vector<Channel> channels_;
     std::uint64_t seq_ = 0;
-
-    static constexpr std::uint32_t kNoSlot =
-        std::numeric_limits<std::uint32_t>::max();
-    struct InFlight {
-        QueuedRequest entry;
-        std::uint32_t nextFree = kNoSlot;
-    };
-    std::vector<InFlight> inFlight_;
-    std::uint32_t freeSlot_ = kNoSlot;
 
     /** In-flight TEMPO prefetch lines -> replays waiting on them. */
     std::unordered_map<Addr, std::vector<Waiter>> pendingPrefetch_;

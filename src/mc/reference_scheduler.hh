@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Flat-scan reference schedulers: the original O(N)-per-pick FR-FCFS and
+ * BLISS implementations, retained as the behavioral oracle for the
+ * indexed TxQueue paths (mirroring how heap_event_queue.hh keeps the
+ * binary-heap EventQueue around).
+ *
+ * Every pick walks the channel's seq-ordered list, re-decoding row-hit
+ * and bank-ready state per entry — the honest old cost, measured by
+ * bench/perf_txq. The ordering key is the shared, widened SchedKey, so
+ * the reference and indexed paths are bit-identical by construction;
+ * tests/tx_queue_test.cpp checks that on randomized request streams, and
+ * the CI perf-smoke job checks end-to-end JSON byte-identity with
+ * TEMPO_REFERENCE_SCHEDULER=1.
+ */
+
+#ifndef TEMPO_MC_REFERENCE_SCHEDULER_HH
+#define TEMPO_MC_REFERENCE_SCHEDULER_HH
+
+#include "mc/bliss.hh"
+#include "mc/scheduler.hh"
+
+namespace tempo {
+
+/** FR-FCFS via full flat rescans of the channel. */
+class RefFrFcfsScheduler : public FrFcfsScheduler
+{
+  public:
+    using FrFcfsScheduler::FrFcfsScheduler;
+
+    std::uint32_t pick(const TxQueue &txq, unsigned ch,
+                       const DramDevice &dram, Cycle now) override;
+};
+
+/** BLISS via full flat rescans of the channel. */
+class RefBlissScheduler : public BlissScheduler
+{
+  public:
+    using BlissScheduler::BlissScheduler;
+
+    std::uint32_t pick(const TxQueue &txq, unsigned ch,
+                       const DramDevice &dram, Cycle now) override;
+};
+
+} // namespace tempo
+
+#endif // TEMPO_MC_REFERENCE_SCHEDULER_HH

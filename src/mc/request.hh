@@ -90,6 +90,13 @@ struct MemRequest {
         onComplete;
 };
 
+/** A request sitting in a channel's transaction queue. */
+struct QueuedRequest {
+    MemRequest req;
+    Cycle arrival = 0;
+    std::uint64_t seq = 0; //!< global submission order (age tie-break)
+};
+
 } // namespace tempo
 
 #endif // TEMPO_MC_REQUEST_HH

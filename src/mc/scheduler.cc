@@ -16,66 +16,30 @@ Scheduler::served(const QueuedRequest &entry, Cycle now)
 
 FrFcfsScheduler::FrFcfsScheduler(const SchedulerConfig &cfg) : cfg_(cfg) {}
 
-std::uint64_t
-FrFcfsScheduler::baseScore(const QueuedRequest &entry,
-                           const DramDevice &dram, Cycle now) const
-{
-    // Priority classes, highest first. Encoded as class * 2^32 + recency
-    // bonus so that within a class, older requests win.
-    const bool row_hit = dram.wouldRowHit(entry.req.paddr);
-    const bool bank_ready = dram.bankReadyAt(entry.req.paddr) <= now;
-    const bool is_pt = entry.req.kind == ReqKind::PtWalk;
-    const bool is_tempo_pf = entry.req.kind == ReqKind::TempoPrefetch;
-
-    std::uint64_t klass;
-    if (cfg_.tempoGrouping) {
-        // Paper Sec. 4.3(b): PT accesses first (same-row groups form
-        // naturally because row-hitting PT accesses outrank the rest),
-        // then TEMPO prefetches grouped by row, then ordinary FR-FCFS.
-        if (is_pt && row_hit)
-            klass = 7;
-        else if (is_pt)
-            klass = 6;
-        else if (is_tempo_pf && row_hit)
-            klass = 5;
-        else if (is_tempo_pf)
-            klass = 4; // prefetch timeliness beats ordinary row hits
-        else if (row_hit)
-            klass = 3;
-        else
-            klass = 2;
-    } else {
-        klass = row_hit ? 4 : 2;
-    }
-
-    // Requests to busy banks lose one class step: serving them stalls the
-    // pipeline for no benefit while a ready bank waits.
-    if (!bank_ready && klass > 0)
-        --klass;
-
-    // Starvation guard dominates everything.
-    if (now - entry.arrival > cfg_.starvationLimit)
-        klass = 15;
-
-    // Age bonus: older (smaller seq) scores higher within the class.
-    const std::uint64_t age_bonus = ~entry.seq & 0xffffffffull;
-    return (klass << 32) | age_bonus;
-}
-
-std::size_t
-FrFcfsScheduler::pick(const std::vector<QueuedRequest> &queue,
+std::uint32_t
+FrFcfsScheduler::pick(const TxQueue &txq, unsigned ch,
                       const DramDevice &dram, Cycle now)
 {
-    TEMPO_ASSERT(!queue.empty(), "pick on empty queue");
-    std::size_t best = 0;
-    std::uint64_t best_score = baseScore(queue[0], dram, now);
-    for (std::size_t i = 1; i < queue.size(); ++i) {
-        const std::uint64_t score = baseScore(queue[i], dram, now);
-        if (score > best_score) {
-            best = i;
-            best_score = score;
-        }
-    }
+    (void)dram; // bank-ready state comes through the index
+    TEMPO_ASSERT(!txq.empty(ch), "pick on empty queue");
+    // Shallow queues dominate real runs: a single queued request is
+    // the argmax by definition, no scoring needed.
+    if (txq.size(ch) == 1)
+        return txq.seqHead(ch);
+    std::uint32_t best = TxQueue::kNone;
+    unsigned __int128 best_key = 0; // loses to every real packed key
+    txq.forEachCandidate(
+        ch, now,
+        [&](std::uint32_t id, const QueuedRequest &entry, bool row_hit,
+            bool bank_ready) {
+            const unsigned __int128 key =
+                scoreKey(entry, row_hit, bank_ready, now).packed();
+            if (key > best_key) {
+                best = id;
+                best_key = key;
+            }
+        });
+    TEMPO_ASSERT(best != TxQueue::kNone, "no candidate in non-empty queue");
     return best;
 }
 

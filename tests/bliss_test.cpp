@@ -8,6 +8,7 @@ namespace {
 struct BlissFixture : public ::testing::Test {
     DramConfig dram_cfg;
     std::unique_ptr<DramDevice> dram;
+    std::unique_ptr<TxQueue> txq;
     SchedulerConfig cfg;
     std::uint64_t seq = 0;
 
@@ -15,11 +16,19 @@ struct BlissFixture : public ::testing::Test {
     SetUp() override
     {
         dram_cfg.rowPolicy = RowPolicyKind::Open;
+        dram_cfg.channels = 1; // flat enqueue order == channel age order
         dram = std::make_unique<DramDevice>(dram_cfg);
+        txq = std::make_unique<TxQueue>(*dram);
         cfg.blissThreshold = 8;
         cfg.blissNormalWeight = 2;
         cfg.blissPrefetchWeight = 1;
         cfg.blissClearInterval = 10000;
+    }
+
+    void
+    TearDown() override
+    {
+        txq.reset();
     }
 
     QueuedRequest
@@ -34,6 +43,12 @@ struct BlissFixture : public ::testing::Test {
         entry.arrival = 0;
         entry.seq = seq++;
         return entry;
+    }
+
+    std::uint32_t
+    add(Addr paddr, AppId app, ReqKind kind = ReqKind::Regular)
+    {
+        return txq->enqueue(make(paddr, app, kind));
     }
 };
 
@@ -92,10 +107,9 @@ TEST_F(BlissFixture, NonBlacklistedAppWinsPick)
         sched.served(make(0x1000, 1), 1);
     ASSERT_TRUE(sched.isBlacklisted(1));
 
-    std::vector<QueuedRequest> queue;
-    queue.push_back(make(0x2000, 1)); // older but blacklisted
-    queue.push_back(make(0x3000, 2));
-    EXPECT_EQ(sched.pick(queue, *dram, 10), 1u);
+    add(0x2000, 1); // older but blacklisted
+    const std::uint32_t clean = add(0x3000, 2);
+    EXPECT_EQ(sched.pick(*txq, 0, *dram, 10), clean);
 }
 
 TEST_F(BlissFixture, TempoAffinityServesPrefetchBeforeSwitching)
@@ -105,12 +119,11 @@ TEST_F(BlissFixture, TempoAffinityServesPrefetchBeforeSwitching)
     // App 1 just got a tagged PT access served.
     sched.served(make(0x1000, 1, ReqKind::PtWalk, /*tagged=*/true), 5);
 
-    std::vector<QueuedRequest> queue;
-    queue.push_back(make(0x5000, 2)); // other app, older
-    queue.push_back(make(0x7000, 1, ReqKind::TempoPrefetch));
+    add(0x5000, 2); // other app, older
+    const std::uint32_t pf = add(0x7000, 1, ReqKind::TempoPrefetch);
     // The paper's rule: the prefetch of the just-served PT access goes
     // before another application's stream.
-    EXPECT_EQ(sched.pick(queue, *dram, 6), 1u);
+    EXPECT_EQ(sched.pick(*txq, 0, *dram, 6), pf);
 }
 
 TEST_F(BlissFixture, NoAffinityWithoutTaggedPt)
@@ -119,14 +132,13 @@ TEST_F(BlissFixture, NoAffinityWithoutTaggedPt)
     BlissScheduler sched(cfg);
     sched.served(make(0x1000, 1, ReqKind::Regular), 5);
 
-    std::vector<QueuedRequest> queue;
-    queue.push_back(make(0x5000, 2));
-    queue.push_back(make(0x7000, 1, ReqKind::TempoPrefetch));
+    const std::uint32_t oldest = add(0x5000, 2);
+    add(0x7000, 1, ReqKind::TempoPrefetch);
     // Without a preceding PT access there is no affinity override; the
     // older request wins its class... but note prefetch class ordering
     // applies only with tempoGrouping. Here both are class "no row hit",
     // so age decides.
-    EXPECT_EQ(sched.pick(queue, *dram, 6), 0u);
+    EXPECT_EQ(sched.pick(*txq, 0, *dram, 6), oldest);
 }
 
 TEST_F(BlissFixture, ZeroWeightRequestDoesNotStealStreamOwnership)

@@ -253,6 +253,71 @@ TEST_F(McFixture, ReportHasPerKindStats)
     EXPECT_EQ(report.get("regular.served"), 1.0);
 }
 
+TEST_F(McFixture, QueueOccupancyCountsTaggedSplitsIncrementally)
+{
+    McConfig cfg;
+    cfg.tempoEnabled = true;
+    build(cfg);
+    EXPECT_EQ(mc->queueOccupancy(), 0u);
+    TempoTag tag;
+    tag.tagged = true;
+    tag.pteValid = true;
+    tag.replayPaddr = 0x40000;
+    MemRequest pt;
+    pt.paddr = 0x8000;
+    pt.kind = ReqKind::PtWalk;
+    pt.tempo = tag;
+    mc->submit(std::move(pt));
+    MemRequest regular;
+    regular.paddr = 0x20000;
+    mc->submit(std::move(regular));
+    // Nothing dispatches until the event queue runs: the tagged PT holds
+    // two slots (split encoding) and the demand request one.
+    EXPECT_EQ(mc->queueOccupancy(), 3u);
+    eq.runAll();
+    EXPECT_EQ(mc->queueOccupancy(), 0u);
+}
+
+TEST_F(McFixture, ReferenceSchedulerMatchesIndexedTimings)
+{
+    // The retained flat-scan schedulers must schedule the exact same
+    // transactions at the exact same cycles as the indexed paths.
+    auto run = [](bool use_ref, SchedKind sched_kind) {
+        EventQueue local_eq;
+        DramConfig local_dram_cfg;
+        local_dram_cfg.rowPolicy = RowPolicyKind::Open;
+        DramDevice local_dram(local_dram_cfg);
+        McConfig cfg;
+        cfg.tempoEnabled = true;
+        cfg.sched = sched_kind;
+        cfg.scheduler.useReferenceScheduler = use_ref;
+        MemoryController local_mc(local_eq, local_dram, cfg);
+        std::vector<Cycle> completions;
+        for (int i = 0; i < 48; ++i) {
+            MemRequest req;
+            req.paddr = (static_cast<Addr>(i % 5) << 16)
+                | (static_cast<Addr>(i % 7) << 13)
+                | (static_cast<Addr>(i) << 6);
+            req.app = static_cast<AppId>(i % 3);
+            if (i % 6 == 0) {
+                req.kind = ReqKind::PtWalk;
+                req.tempo.tagged = true;
+                req.tempo.pteValid = true;
+                req.tempo.replayPaddr = 0x200000 + (static_cast<Addr>(i) << 6);
+            }
+            const int idx = i;
+            req.onComplete = [&completions, idx](const MemResult &r) {
+                completions.push_back(r.complete ^ static_cast<Cycle>(idx));
+            };
+            local_mc.submit(std::move(req));
+        }
+        local_eq.runAll();
+        return completions;
+    };
+    EXPECT_EQ(run(false, SchedKind::FrFcfs), run(true, SchedKind::FrFcfs));
+    EXPECT_EQ(run(false, SchedKind::Bliss), run(true, SchedKind::Bliss));
+}
+
 TEST_F(McFixture, QueueDelayAccumulatesUnderLoad)
 {
     build();

@@ -8,6 +8,7 @@ namespace {
 struct SchedulerFixture : public ::testing::Test {
     DramConfig dram_cfg;
     std::unique_ptr<DramDevice> dram;
+    std::unique_ptr<TxQueue> txq;
     SchedulerConfig cfg;
     std::uint64_t seq = 0;
 
@@ -15,12 +16,22 @@ struct SchedulerFixture : public ::testing::Test {
     SetUp() override
     {
         dram_cfg.rowPolicy = RowPolicyKind::Open;
+        // One channel: every test address lands in channel 0, so the
+        // fixture's flat enqueue order is the channel's age order.
+        dram_cfg.channels = 1;
         dram = std::make_unique<DramDevice>(dram_cfg);
+        txq = std::make_unique<TxQueue>(*dram);
     }
 
-    QueuedRequest
-    make(Addr paddr, ReqKind kind = ReqKind::Regular, Cycle arrival = 0,
-         AppId app = 0)
+    void
+    TearDown() override
+    {
+        txq.reset(); // detach the row listener before the device dies
+    }
+
+    std::uint32_t
+    add(Addr paddr, ReqKind kind = ReqKind::Regular, Cycle arrival = 0,
+        AppId app = 0)
     {
         QueuedRequest entry;
         entry.req.paddr = paddr;
@@ -28,7 +39,7 @@ struct SchedulerFixture : public ::testing::Test {
         entry.req.app = app;
         entry.arrival = arrival;
         entry.seq = seq++;
-        return entry;
+        return txq->enqueue(std::move(entry));
     }
 
     /** Open the row containing @p paddr. */
@@ -43,19 +54,17 @@ TEST_F(SchedulerFixture, PrefersRowHit)
 {
     FrFcfsScheduler sched(cfg);
     openRow(0x10000);
-    std::vector<QueuedRequest> queue;
-    queue.push_back(make(0x900000));        // older, row closed
-    queue.push_back(make(0x10040));         // row hit
-    EXPECT_EQ(sched.pick(queue, *dram, 1000), 1u);
+    add(0x900000);                          // older, row closed
+    const std::uint32_t hit = add(0x10040); // row hit
+    EXPECT_EQ(sched.pick(*txq, 0, *dram, 1000), hit);
 }
 
 TEST_F(SchedulerFixture, OldestWinsWithoutRowHits)
 {
     FrFcfsScheduler sched(cfg);
-    std::vector<QueuedRequest> queue;
-    queue.push_back(make(0x900000));
-    queue.push_back(make(0xa00000));
-    EXPECT_EQ(sched.pick(queue, *dram, 1000), 0u);
+    const std::uint32_t oldest = add(0x900000);
+    add(0xa00000);
+    EXPECT_EQ(sched.pick(*txq, 0, *dram, 1000), oldest);
 }
 
 TEST_F(SchedulerFixture, StarvationGuardOverridesRowHit)
@@ -63,11 +72,11 @@ TEST_F(SchedulerFixture, StarvationGuardOverridesRowHit)
     cfg.starvationLimit = 100;
     FrFcfsScheduler sched(cfg);
     openRow(0x10000);
-    std::vector<QueuedRequest> queue;
-    queue.push_back(make(0x900000, ReqKind::Regular, /*arrival=*/0));
-    queue.push_back(make(0x10040, ReqKind::Regular, /*arrival=*/990));
+    const std::uint32_t starved =
+        add(0x900000, ReqKind::Regular, /*arrival=*/0);
+    add(0x10040, ReqKind::Regular, /*arrival=*/990);
     // At t=1000 the first request has waited 1000 > 100 cycles.
-    EXPECT_EQ(sched.pick(queue, *dram, 1000), 0u);
+    EXPECT_EQ(sched.pick(*txq, 0, *dram, 1000), starved);
 }
 
 TEST_F(SchedulerFixture, TempoGroupingPrioritizesPtAccesses)
@@ -75,10 +84,9 @@ TEST_F(SchedulerFixture, TempoGroupingPrioritizesPtAccesses)
     cfg.tempoGrouping = true;
     FrFcfsScheduler sched(cfg);
     openRow(0x10000);
-    std::vector<QueuedRequest> queue;
-    queue.push_back(make(0x10040, ReqKind::Regular)); // row hit, older
-    queue.push_back(make(0x900000, ReqKind::PtWalk)); // PT, no row hit
-    EXPECT_EQ(sched.pick(queue, *dram, 100), 1u);
+    add(0x10040, ReqKind::Regular); // row hit, older
+    const std::uint32_t pt = add(0x900000, ReqKind::PtWalk); // no hit
+    EXPECT_EQ(sched.pick(*txq, 0, *dram, 100), pt);
 }
 
 TEST_F(SchedulerFixture, TempoGroupingGroupsPtByRow)
@@ -86,13 +94,12 @@ TEST_F(SchedulerFixture, TempoGroupingGroupsPtByRow)
     cfg.tempoGrouping = true;
     FrFcfsScheduler sched(cfg);
     openRow(0x10000);
-    std::vector<QueuedRequest> queue;
-    queue.push_back(make(0x900000, ReqKind::PtWalk)); // PT, row closed
-    queue.push_back(make(0x10040, ReqKind::PtWalk));  // PT, row hit
+    add(0x900000, ReqKind::PtWalk); // PT, row closed
+    const std::uint32_t pt_hit = add(0x10040, ReqKind::PtWalk);
     // Row-hitting PT access wins even though it is younger: this is the
     // paper's Fig. 8 same-row PT grouping. (t=500: the bank that served
     // openRow() is ready again, so no busy-bank demotion applies.)
-    EXPECT_EQ(sched.pick(queue, *dram, 500), 1u);
+    EXPECT_EQ(sched.pick(*txq, 0, *dram, 500), pt_hit);
 }
 
 TEST_F(SchedulerFixture, TempoGroupingPutsPrefetchAboveRegularRowHit)
@@ -100,10 +107,9 @@ TEST_F(SchedulerFixture, TempoGroupingPutsPrefetchAboveRegularRowHit)
     cfg.tempoGrouping = true;
     FrFcfsScheduler sched(cfg);
     openRow(0x10000);
-    std::vector<QueuedRequest> queue;
-    queue.push_back(make(0x10040, ReqKind::Regular));        // row hit
-    queue.push_back(make(0x900000, ReqKind::TempoPrefetch)); // no hit
-    EXPECT_EQ(sched.pick(queue, *dram, 100), 1u);
+    add(0x10040, ReqKind::Regular); // row hit
+    const std::uint32_t pf = add(0x900000, ReqKind::TempoPrefetch);
+    EXPECT_EQ(sched.pick(*txq, 0, *dram, 100), pf);
 }
 
 TEST_F(SchedulerFixture, WithoutGroupingPtIsNotSpecial)
@@ -111,31 +117,101 @@ TEST_F(SchedulerFixture, WithoutGroupingPtIsNotSpecial)
     cfg.tempoGrouping = false;
     FrFcfsScheduler sched(cfg);
     openRow(0x10000);
-    std::vector<QueuedRequest> queue;
-    queue.push_back(make(0x10040, ReqKind::Regular)); // row hit
-    queue.push_back(make(0x900000, ReqKind::PtWalk));
-    EXPECT_EQ(sched.pick(queue, *dram, 100), 0u);
+    const std::uint32_t hit = add(0x10040, ReqKind::Regular);
+    add(0x900000, ReqKind::PtWalk);
+    EXPECT_EQ(sched.pick(*txq, 0, *dram, 100), hit);
 }
 
 TEST_F(SchedulerFixture, BusyBankLosesToReadyBank)
 {
     FrFcfsScheduler sched(cfg);
-    // Make bank of 0x0 busy until far future.
+    // Make bank 0 busy until far future (and leave row 0 open there).
     dram->access(0, false, false, 0, 0, 0);
-    std::vector<QueuedRequest> queue;
     // Same bank as the in-flight access (row conflict and bank busy).
-    queue.push_back(make(1ull << 22, ReqKind::Regular));
-    // Different channel: its bank is idle. (Row closed for both.)
-    queue.push_back(make(dram_cfg.rowBufferBytes + (1ull << 22)));
-    EXPECT_EQ(sched.pick(queue, *dram, 10), 1u);
+    add(1ull << 22, ReqKind::Regular);
+    // Bank 1 of the same channel: idle, row closed.
+    const std::uint32_t ready = add((1ull << 22) | (1ull << 13));
+    EXPECT_EQ(sched.pick(*txq, 0, *dram, 10), ready);
 }
 
 TEST_F(SchedulerFixture, SingleEntryQueueAlwaysPicksIt)
 {
     FrFcfsScheduler sched(cfg);
-    std::vector<QueuedRequest> queue;
-    queue.push_back(make(0x1234000));
-    EXPECT_EQ(sched.pick(queue, *dram, 0), 0u);
+    const std::uint32_t only = add(0x1234000);
+    EXPECT_EQ(sched.pick(*txq, 0, *dram, 0), only);
+}
+
+// --- Priority-class ordering matrix (TEMPO grouping, Sec. 4.3b) ---
+
+TEST_F(SchedulerFixture, StarvationBeatsEveryTempoGroup)
+{
+    cfg.tempoGrouping = true;
+    cfg.starvationLimit = 100;
+    FrFcfsScheduler sched(cfg);
+    openRow(0x10000);
+    // The starved ordinary request must beat even a fresh row-hitting
+    // PT access (class 15 vs class 7).
+    const std::uint32_t starved =
+        add(0x900000, ReqKind::Regular, /*arrival=*/0);
+    add(0x100c0, ReqKind::PtWalk, /*arrival=*/990);
+    EXPECT_EQ(sched.pick(*txq, 0, *dram, 1000), starved);
+}
+
+TEST_F(SchedulerFixture, FullGroupingLadderDrainsInClassOrder)
+{
+    cfg.tempoGrouping = true;
+    FrFcfsScheduler sched(cfg);
+    openRow(0x10000);
+    // One entry per priority class, enqueued in ascending class order so
+    // age never agrees with class. Expected drain: descending class
+    //   PT+hit(7) > PT(6) > prefetch+hit(5) > prefetch(4)
+    //   > row hit(3) > rest(2).
+    std::vector<std::uint32_t> expect;
+    expect.push_back(add(0x900000, ReqKind::Regular));       // class 2
+    expect.push_back(add(0x10040, ReqKind::Regular));        // class 3
+    expect.push_back(add(0xa00000, ReqKind::TempoPrefetch)); // class 4
+    expect.push_back(add(0x10080, ReqKind::TempoPrefetch));  // class 5
+    expect.push_back(add(0xb00000, ReqKind::PtWalk));        // class 6
+    expect.push_back(add(0x100c0, ReqKind::PtWalk));         // class 7
+    for (auto it = expect.rbegin(); it != expect.rend(); ++it) {
+        const std::uint32_t picked = sched.pick(*txq, 0, *dram, 1000);
+        EXPECT_EQ(picked, *it);
+        txq->remove(picked);
+        txq->release(picked);
+    }
+    EXPECT_TRUE(txq->empty(0));
+}
+
+TEST_F(SchedulerFixture, TiesWithinClassBreakBySubmissionOrder)
+{
+    cfg.tempoGrouping = true;
+    FrFcfsScheduler sched(cfg);
+    openRow(0x10000);
+    // Three same-class (PT, row-hit) entries: strict seq order.
+    const std::uint32_t first = add(0x10040, ReqKind::PtWalk);
+    const std::uint32_t second = add(0x10080, ReqKind::PtWalk);
+    const std::uint32_t third = add(0x100c0, ReqKind::PtWalk);
+    EXPECT_EQ(sched.pick(*txq, 0, *dram, 1000), first);
+    txq->remove(first);
+    txq->release(first);
+    EXPECT_EQ(sched.pick(*txq, 0, *dram, 1000), second);
+    txq->remove(second);
+    txq->release(second);
+    EXPECT_EQ(sched.pick(*txq, 0, *dram, 1000), third);
+}
+
+TEST_F(SchedulerFixture, LargeSeqAgeDoesNotWrap)
+{
+    // Regression: the old packed score kept only the low 32 age bits
+    // (~seq & 0xffffffff), so once seq passed 2^32 a brand-new request
+    // looked "older" than one submitted eons earlier. The widened
+    // SchedKey compares the full 64-bit seq.
+    FrFcfsScheduler sched(cfg);
+    seq = 5;
+    const std::uint32_t old_req = add(0x900000);
+    seq = (1ull << 32) + 1;
+    add(0xa00000); // same class; wrapped encoding ranked this first
+    EXPECT_EQ(sched.pick(*txq, 0, *dram, 100), old_req);
 }
 
 } // namespace
