@@ -157,6 +157,12 @@ applyKey(int line_no, SystemConfig &cfg, const std::string &section,
             cfg.os.fragLevel = f();
         } else if (key == "thp_eligible") {
             cfg.vm.thpEligibleFrac = f();
+        } else if (key == "reference_translator") {
+            cfg.translator.useReferenceTranslator = b();
+        } else if (key == "translator_slots") {
+            cfg.translator.memoSlots = static_cast<unsigned>(u());
+            if (!isPow2(cfg.translator.memoSlots))
+                bad(line_no, "translator_slots must be a power of 2");
         } else {
             bad(line_no, "unknown [vm] key '" + key + "'");
         }

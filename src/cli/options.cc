@@ -95,6 +95,10 @@ usage()
         "  --profile           report per-component wall-clock "
         "attribution\n"
         "                      (profile.* keys; nondeterministic)\n"
+        "  --reference-translator  resolve translations through the\n"
+        "                      unmemoized functional walk (also via\n"
+        "                      TEMPO_REFERENCE_TRANSLATOR=1); results\n"
+        "                      are bit-identical, only slower\n"
         "  --help              this text\n";
 }
 
@@ -202,6 +206,8 @@ parse(const std::vector<std::string> &args)
             options.configPath = next("--config");
         } else if (arg == "--profile") {
             options.profile = true;
+        } else if (arg == "--reference-translator") {
+            options.referenceTranslator = true;
         } else {
             bad("unknown option '" + arg + "' (try --help)");
         }
@@ -245,6 +251,8 @@ toConfig(const Options &options)
         cfg.withSubRows(SubRowAlloc::FOA, options.subrowDedicated);
     else if (options.subrow == "poa")
         cfg.withSubRows(SubRowAlloc::POA, options.subrowDedicated);
+
+    cfg.translator.useReferenceTranslator = options.referenceTranslator;
 
     // Config files layer on top of (and can override) the flags.
     if (!options.configPath.empty())

@@ -57,6 +57,10 @@ struct Options {
     /** Collect wall-clock per-component attribution and report it under
      * the "profile." prefix (numbers are nondeterministic). */
     bool profile = false;
+    /** Bypass the memoized translation fast path and resolve every
+     * translation through the functional page-table walk (also forced
+     * by TEMPO_REFERENCE_TRANSLATOR). Results are bit-identical. */
+    bool referenceTranslator = false;
     bool help = false;
 };
 

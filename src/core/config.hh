@@ -21,6 +21,7 @@
 #include "vm/mmu_cache.hh"
 #include "vm/os_memory.hh"
 #include "vm/tlb.hh"
+#include "vm/translator.hh"
 
 namespace tempo {
 
@@ -44,6 +45,10 @@ struct SystemConfig {
     McConfig mc;
     OsMemoryConfig os;
     AddressSpaceConfig vm;
+    /** Memoized translation fast path (vm/translator.hh). Stats-neutral
+     * by construction, so its knobs stay out of digest() — like the
+     * scheduler's useReferenceScheduler. */
+    TranslatorConfig translator;
     ImpConfig imp;
     StrideConfig stride;
     EnergyConfig energy;

@@ -74,8 +74,8 @@ SimCore::SimCore(Machine &machine, AppId app,
           AddressSpaceConfig vm_cfg = machine.config.vm;
           vm_cfg.seed += app * 97; // decorrelate per-app decisions
           return vm_cfg;
-      }()),
-      walker(addressSpace.pageTable(), mmu),
+      }(), machine.config.translator),
+      walker(addressSpace.translator(), mmu),
       imp(machine.config.imp),
       stride(machine.config.stride),
       machine_(machine),

@@ -4,8 +4,9 @@
 
 namespace tempo {
 
-AddressSpace::AddressSpace(OsMemory &os, const AddressSpaceConfig &cfg)
-    : os_(os), cfg_(cfg), table_(os)
+AddressSpace::AddressSpace(OsMemory &os, const AddressSpaceConfig &cfg,
+                           const TranslatorConfig &xlate_cfg)
+    : os_(os), cfg_(cfg), table_(os), translator_(table_, xlate_cfg)
 {
 }
 
@@ -78,9 +79,17 @@ AddressSpace::installMapping(Addr vaddr)
 bool
 AddressSpace::touch(Addr vaddr)
 {
-    const Addr vpn = vpn4K(vaddr);
-    if (shadow_.count(vpn))
+    // Memoized fast path: a live memo entry with the touched bit set
+    // means this granule was already demand-paged and counted — the
+    // common case for every reference after the first to a page.
+    if (translator_.touchedFast(vaddr))
         return false;
+
+    const Addr vpn = vpn4K(vaddr);
+    if (seen4k_.count(vpn)) {
+        translator_.noteTouched(vaddr);
+        return false;
+    }
 
     Translation xlate = table_.translate(vaddr);
     bool faulted = false;
@@ -91,10 +100,10 @@ AddressSpace::touch(Addr vaddr)
         faulted = true;
     }
 
-    // One shadow entry per 4KB granule (even inside superpages) so that
-    // translate() is a single hash lookup and the touched-footprint
-    // accounting is exact. The stored translation is the full-page one.
-    shadow_.emplace(vpn, xlate);
+    // One seen-set entry per 4KB granule (even inside superpages) so
+    // the touched-footprint accounting is exact.
+    seen4k_.insert(vpn);
+    translator_.noteTouched(vaddr);
 
     ++touched4k_;
     if (xlate.size == PageSize::Page2M)
@@ -107,12 +116,7 @@ AddressSpace::touch(Addr vaddr)
 Translation
 AddressSpace::translate(Addr vaddr) const
 {
-    const auto it = shadow_.find(vpn4K(vaddr));
-    if (it != shadow_.end())
-        return it->second;
-    // Untouched granule of an already-mapped superpage (e.g. a prefetch
-    // target): fall back to the real table.
-    return table_.translate(vaddr);
+    return translator_.translate(vaddr);
 }
 
 double

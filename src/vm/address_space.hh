@@ -16,13 +16,13 @@
 #define TEMPO_VM_ADDRESS_SPACE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "common/types.hh"
 #include "stats/stats.hh"
 #include "vm/os_memory.hh"
 #include "vm/page_table.hh"
+#include "vm/translator.hh"
 
 namespace tempo {
 
@@ -60,7 +60,8 @@ struct AddressSpaceConfig {
 class AddressSpace
 {
   public:
-    AddressSpace(OsMemory &os, const AddressSpaceConfig &cfg);
+    AddressSpace(OsMemory &os, const AddressSpaceConfig &cfg,
+                 const TranslatorConfig &xlate_cfg = {});
 
     /**
      * Ensure the page containing @p vaddr is mapped (demand paging).
@@ -70,6 +71,10 @@ class AddressSpace
 
     /** Translation for @p vaddr; invalid if never touched. */
     Translation translate(Addr vaddr) const;
+
+    /** The memoized translation front end over this space's table
+     * (vm/translator.hh); the walker plans its walks through it. */
+    Translator &translator() const { return translator_; }
 
     const PageTable &pageTable() const { return table_; }
     PageTable &pageTable() { return table_; }
@@ -99,9 +104,13 @@ class AddressSpace
     AddressSpaceConfig cfg_;
     PageTable table_;
 
-    /** Shadow of leaf mappings keyed by 4KB VPN: fast translate + the
-     * touched-footprint accounting. */
-    std::unordered_map<Addr, Translation> shadow_;
+    /** Memoized front end; mutable because memo fills are logically
+     * const (translate() caches, it never changes the mapping). */
+    mutable Translator translator_;
+
+    /** 4KB granules already demand-paged and counted: the slow-path
+     * seen-set behind the translator's touched-bit fast path. */
+    std::unordered_set<Addr> seen4k_;
 
     /** Superpage regions that fell back to 4KB (stay 4KB forever). */
     std::unordered_set<Addr> demoted_;

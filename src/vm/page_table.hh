@@ -33,6 +33,7 @@ struct WalkStep {
 /** Result of translating a virtual address. */
 struct Translation {
     bool valid = false;
+    bool writable = true;       //!< permission bit carried by the PTE
     Addr pframe = kInvalidAddr; //!< physical frame base
     PageSize size = PageSize::Page4K;
 
@@ -65,9 +66,56 @@ class PageTable
     /**
      * Install a mapping for the page containing @p vaddr.
      * @p pframe must be aligned to the page size. Intermediate nodes are
-     * created (and given physical frames) on demand.
+     * created (and given physical frames) on demand. A superpage map
+     * over page-table structure whose leaves were all unmapped reclaims
+     * the empty subtree, as a real OS reuses freed PT pages; mapping
+     * over any *live* translation is still a hard error.
+     *
+     * map() never fires the mutation epoch: installing a mapping in a
+     * previously non-present range cannot change any existing present
+     * translation, and memoized translators never cache negative
+     * results, so no memo entry can go stale (vm/translator.hh).
      */
-    void map(Addr vaddr, PageSize size, Addr pframe);
+    void map(Addr vaddr, PageSize size, Addr pframe,
+             bool writable = true);
+
+    /**
+     * Remove the leaf mapping covering @p vaddr (any page size).
+     * Intermediate nodes are kept, as a real OS keeps page-table pages
+     * after pte_clear: a later walk faults at the first absent level
+     * below them and a later map() reuses them. Bumps the mutation
+     * epoch when a mapping was actually removed.
+     * @return true iff a mapping existed.
+     */
+    bool unmap(Addr vaddr);
+
+    /**
+     * Replace the mapping covering @p vaddr with a new frame (unmap +
+     * map). The page at the *new* size must be free after the unmap —
+     * size-changing replacement of a partially mapped region goes
+     * through promote() instead.
+     */
+    void remap(Addr vaddr, PageSize size, Addr pframe,
+               bool writable = true);
+
+    /**
+     * Change the permission bit of the leaf covering @p vaddr. Bumps
+     * the mutation epoch when the bit actually changed.
+     * @return true iff a mapping existed.
+     */
+    bool protect(Addr vaddr, bool writable);
+
+    /**
+     * Superpage promotion: collapse whatever is mapped inside the
+     * @p size-aligned region containing @p vaddr into one superpage
+     * leaf at @p pframe. Any page-table subtree under the region (4KB
+     * leaves of a 2MB region; 2MB/4KB leaves of a 1GB region) is
+     * discarded; its node frames stay allocated in the OS model, as
+     * with a real buddy allocator holding freed PT pages. Bumps the
+     * mutation epoch.
+     */
+    void promote(Addr vaddr, PageSize size, Addr pframe,
+                 bool writable = true);
 
     /** Translate without touching hardware structures. */
     Translation translate(Addr vaddr) const;
@@ -75,11 +123,29 @@ class PageTable
     /** Structural walk: exactly the PTE fetches a hardware walker makes. */
     WalkResult walk(Addr vaddr) const;
 
+    /**
+     * walk() without the heap: writes the same step sequence into
+     * @p steps (at most 4) and the outcome into @p xlate, returns the
+     * step count. The memoized translator's refill path uses this so a
+     * walk miss never allocates.
+     */
+    int walkInto(Addr vaddr, WalkStep steps[4],
+                 Translation &xlate) const;
+
     /** Physical address of the root (CR3 contents). */
     Addr rootAddr() const;
 
     /** Number of table nodes (== 4KB frames consumed by this table). */
     std::uint64_t nodeCount() const { return nodeCount_; }
+
+    /**
+     * Monotone counter bumped by every mutation that can change an
+     * existing present translation — unmap, remap, protect, promote —
+     * and never by map() (see there). This is the bulk-invalidation
+     * hook memoized translators key their entries on: a stale entry
+     * carries an older epoch and can never be served again.
+     */
+    std::uint64_t mutationEpoch() const { return mutationEpoch_; }
 
     /** Virtual-page index bits for @p level (9 bits per level). */
     static unsigned indexAt(Addr vaddr, int level);
@@ -89,6 +155,7 @@ class PageTable
     struct Entry {
         bool present = false;
         bool isLeaf = false;
+        bool writable = true;          //!< leaf: permission bit
         Addr pframe = 0;               //!< leaf: frame base
         PageSize size = PageSize::Page4K;
         std::unique_ptr<Node> child;   //!< non-leaf: next level node
@@ -99,10 +166,14 @@ class PageTable
     };
 
     Node *ensureChild(Node *node, unsigned index);
+    Entry *findLeaf(Addr vaddr);
+    static bool subtreeHasMapping(const Node *node);
+    static std::uint64_t subtreeNodes(const Node *node);
 
     OsMemory &os_;
     std::unique_ptr<Node> root_;
     std::uint64_t nodeCount_ = 0;
+    std::uint64_t mutationEpoch_ = 0;
 };
 
 } // namespace tempo

@@ -1,0 +1,169 @@
+#include "vm/translator.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace tempo {
+
+namespace {
+
+/** Test/CI knob: force the retained unmemoized reference path.
+ * Results are bit-identical; only the lookup cost differs. */
+bool
+envReferenceTranslator()
+{
+    const char *v = std::getenv("TEMPO_REFERENCE_TRANSLATOR");
+    return v != nullptr && v[0] != '\0'
+        && !(v[0] == '0' && v[1] == '\0');
+}
+
+void
+fillCachedWalk(CachedWalk &out, const WalkResult &full)
+{
+    out.xlate = full.xlate;
+    TEMPO_ASSERT(full.steps.size() <= 4, "walk deeper than 4 levels");
+    out.count = static_cast<int>(full.steps.size());
+    for (int i = 0; i < out.count; ++i)
+        out.steps[i] = full.steps[static_cast<std::size_t>(i)];
+}
+
+} // namespace
+
+Translator::Translator(const PageTable &table, const TranslatorConfig &cfg)
+    : table_(table), cfg_(cfg),
+      useRef_(cfg.useReferenceTranslator || envReferenceTranslator())
+{
+    TEMPO_ASSERT(isPow2(cfg_.memoSlots), "memoSlots must be a power of 2");
+    TEMPO_ASSERT(isPow2(cfg_.walkSlots), "walkSlots must be a power of 2");
+    if (!useRef_) {
+        slots_.resize(cfg_.memoSlots);
+        wslots_.resize(cfg_.walkSlots);
+    }
+    slotMask_ = useRef_ ? 0 : cfg_.memoSlots - 1;
+    wslotMask_ = useRef_ ? 0 : cfg_.walkSlots - 1;
+}
+
+void
+Translator::refillLast(Addr vaddr, const Translation &xlate,
+                       std::uint64_t stamp)
+{
+    const Addr bytes = pageBytes(xlate.size);
+    last_.base = alignDown(vaddr, bytes);
+    last_.pageMask = ~(bytes - 1);
+    last_.stamp = stamp;
+    last_.xlate = xlate;
+}
+
+Translation
+Translator::translateMiss(Addr vaddr, Slot &slot, std::uint64_t stamp)
+{
+    const Translation xlate = table_.translate(vaddr);
+    if (xlate.valid) {
+        // Negative results are never memoized: map() does not bump the
+        // mutation epoch, so a cached "unmapped" answer could go stale.
+        slot.tag = vpn4K(vaddr);
+        slot.stamp = stamp;
+        slot.touched = 0;
+        slot.xlate = xlate;
+        refillLast(vaddr, xlate, stamp);
+    }
+    return xlate;
+}
+
+Translation
+Translator::translate(Addr vaddr)
+{
+    if (useRef_)
+        return table_.translate(vaddr);
+
+    const std::uint64_t stamp = currentStamp();
+    // Hit checks use non-short-circuit `&`: one predictable branch to
+    // the refill path, no data-dependent control flow on the way.
+    if (((vaddr & last_.pageMask) == last_.base)
+        & (last_.stamp == stamp)) {
+        ++hits_;
+        return last_.xlate;
+    }
+
+    const Addr vpn = vpn4K(vaddr);
+    Slot &slot = slotFor(vpn);
+    if ((slot.tag == vpn) & (slot.stamp == stamp)) {
+        ++hits_;
+        refillLast(vaddr, slot.xlate, stamp);
+        return slot.xlate;
+    }
+
+    ++misses_;
+    return translateMiss(vaddr, slot, stamp);
+}
+
+const CachedWalk &
+Translator::walk(Addr vaddr)
+{
+    if (useRef_) {
+        fillCachedWalk(scratch_, table_.walk(vaddr));
+        return scratch_;
+    }
+
+    const Addr vpn = vpn4K(vaddr);
+    WalkSlot &slot = wslots_[vpn & wslotMask_];
+    const std::uint64_t stamp = currentStamp();
+    if ((slot.tag == vpn) & (slot.stamp == stamp)) {
+        ++walkHits_;
+        return slot.walk;
+    }
+
+    ++walkMisses_;
+    // Refill via the vector-free walk: the TLB filters out most reuse
+    // before it reaches the walker, so walk() misses dominate and must
+    // not pay a heap allocation per descent like table_.walk() does.
+    scratch_.count =
+        table_.walkInto(vaddr, scratch_.steps, scratch_.xlate);
+    if (!scratch_.xlate.valid) {
+        // Faulting walks stay unmemoized (see translateMiss).
+        return scratch_;
+    }
+    slot.tag = vpn;
+    slot.stamp = stamp;
+    slot.walk = scratch_;
+    return slot.walk;
+}
+
+bool
+Translator::touchedFast(Addr vaddr)
+{
+    if (useRef_)
+        return false;
+    const std::uint64_t stamp = currentStamp();
+    const Addr vpn = vpn4K(vaddr);
+    const Slot &slot = slotFor(vpn);
+    const bool hit =
+        (slot.tag == vpn) & (slot.stamp == stamp) & (slot.touched != 0);
+    hits_ += hit;
+    return hit;
+}
+
+void
+Translator::noteTouched(Addr vaddr)
+{
+    if (useRef_)
+        return;
+    const std::uint64_t stamp = currentStamp();
+    const Addr vpn = vpn4K(vaddr);
+    Slot &slot = slotFor(vpn);
+    if ((slot.tag != vpn) | (slot.stamp != stamp)) {
+        ++misses_;
+        if (!translateMiss(vaddr, slot, stamp).valid)
+            return; // unmapped granule: nothing to mark
+    }
+    slot.touched = 1;
+}
+
+void
+Translator::invalidateAll()
+{
+    ++gen_;
+}
+
+} // namespace tempo

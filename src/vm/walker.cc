@@ -1,26 +1,30 @@
 #include "vm/walker.hh"
 
 #include "common/log.hh"
+#include "common/profiler.hh"
 
 namespace tempo {
 
-Walker::Walker(const PageTable &table, MmuCache &mmu)
-    : table_(table), mmu_(mmu)
+Walker::Walker(Translator &translator, MmuCache &mmu)
+    : translator_(translator), mmu_(mmu)
 {
 }
 
 WalkPlan
 Walker::plan(Addr vaddr)
 {
+    prof::Scope prof_scope(prof::Component::Walker);
     ++walks_;
-    const WalkResult full = table_.walk(vaddr);
+    const CachedWalk &full = translator_.walk(vaddr);
     // deepestCached == L means the PT entry at level L is cached, so the
     // walk resumes at level L-1; 5 means start from the root (L4).
     const int deepest = mmu_.deepestCached(vaddr);
 
     WalkPlan plan;
     plan.xlate = full.xlate;
-    for (const WalkStep &step : full.steps) {
+    plan.fetches.reserve(static_cast<std::size_t>(full.count));
+    for (int i = 0; i < full.count; ++i) {
+        const WalkStep &step = full.steps[i];
         if (step.level < deepest) {
             plan.fetches.push_back(step);
             ++ptRefs_;

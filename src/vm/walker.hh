@@ -17,6 +17,7 @@
 #include "common/types.hh"
 #include "vm/mmu_cache.hh"
 #include "vm/page_table.hh"
+#include "vm/translator.hh"
 
 namespace tempo {
 
@@ -38,7 +39,10 @@ struct WalkPlan {
 class Walker
 {
   public:
-    Walker(const PageTable &table, MmuCache &mmu);
+    /** Plans walks through @p translator, the memoized (or reference)
+     * front end over the page table (vm/translator.hh). The fetch
+     * plans, MMU-cache probes and statistics are identical either way. */
+    Walker(Translator &translator, MmuCache &mmu);
 
     /** Build the fetch plan for @p vaddr (probes the MMU caches). */
     WalkPlan plan(Addr vaddr);
@@ -52,7 +56,7 @@ class Walker
     std::uint64_t ptRefsSkipped() const { return ptRefsSkipped_; }
 
   private:
-    const PageTable &table_;
+    Translator &translator_;
     MmuCache &mmu_;
     std::uint64_t walks_ = 0;
     std::uint64_t ptRefs_ = 0;

@@ -168,5 +168,95 @@ TEST_F(PageTableFixture, MisalignedFrameDies)
                  "aligned");
 }
 
+TEST_F(PageTableFixture, UnmapRemovesLeafKeepsNodes)
+{
+    table.map(0x1234000, PageSize::Page4K,
+              os.allocFrame(PageSize::Page4K));
+    const std::uint64_t nodes = table.nodeCount();
+    const std::uint64_t epoch = table.mutationEpoch();
+
+    EXPECT_TRUE(table.unmap(0x1234abc)); // any addr inside the page
+    EXPECT_FALSE(table.translate(0x1234000).valid);
+    // pte_clear semantics: the intermediate nodes stay allocated...
+    EXPECT_EQ(table.nodeCount(), nodes);
+    // ...and the epoch moved, so memoized translators drop the leaf.
+    EXPECT_GT(table.mutationEpoch(), epoch);
+    // A walk now faults at the (kept) L1 node's empty slot.
+    EXPECT_EQ(table.walk(0x1234000).steps.size(), 4u);
+
+    // Unmapping nothing is a no-op that reports false, no epoch bump.
+    const std::uint64_t after = table.mutationEpoch();
+    EXPECT_FALSE(table.unmap(0x1234000));
+    EXPECT_EQ(table.mutationEpoch(), after);
+}
+
+TEST_F(PageTableFixture, RemapReplacesFrame)
+{
+    const Addr first = os.allocFrame(PageSize::Page4K);
+    table.map(0x1234000, PageSize::Page4K, first);
+    const Addr second = os.allocFrame(PageSize::Page4K);
+    table.remap(0x1234000, PageSize::Page4K, second);
+    const Translation t = table.translate(0x1234000);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.pframe, second);
+}
+
+TEST_F(PageTableFixture, ProtectTogglesWritableAndEpoch)
+{
+    table.map(0x1234000, PageSize::Page4K,
+              os.allocFrame(PageSize::Page4K), /*writable=*/true);
+    const std::uint64_t epoch = table.mutationEpoch();
+    EXPECT_TRUE(table.protect(0x1234000, false));
+    EXPECT_FALSE(table.translate(0x1234000).writable);
+    EXPECT_GT(table.mutationEpoch(), epoch);
+
+    // Setting the bit to its current value must not bump the epoch.
+    const std::uint64_t settled = table.mutationEpoch();
+    EXPECT_TRUE(table.protect(0x1234000, false));
+    EXPECT_EQ(table.mutationEpoch(), settled);
+    EXPECT_FALSE(table.protect(0x9999000, false)); // unmapped
+}
+
+TEST_F(PageTableFixture, PromoteCollapsesSubtree)
+{
+    // Populate a 2MB region with 4K pages, then promote it.
+    for (int i = 0; i < 4; ++i)
+        table.map(0x40000000 + static_cast<Addr>(i) * kPageBytes,
+                  PageSize::Page4K, os.allocFrame(PageSize::Page4K));
+    const std::uint64_t nodes = table.nodeCount();
+    const Addr super = os.allocFrame(PageSize::Page2M);
+    table.promote(0x40000000, PageSize::Page2M, super);
+
+    const Translation t = table.translate(0x40000000 + 3 * kPageBytes);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.size, PageSize::Page2M);
+    EXPECT_EQ(t.pframe, super);
+    EXPECT_EQ(table.nodeCount(), nodes - 1); // L1 node discarded
+    EXPECT_EQ(table.walk(0x40000000).steps.back().level, 2);
+}
+
+TEST_F(PageTableFixture, SuperpageMapReclaimsEmptiedSubtree)
+{
+    // 4K structure whose leaves are all unmapped leaves empty PT nodes
+    // behind; a 2MB map over the region must reclaim them rather than
+    // report a double mapping (a real OS reuses freed PT pages).
+    table.map(0x40001000, PageSize::Page4K,
+              os.allocFrame(PageSize::Page4K));
+    EXPECT_TRUE(table.unmap(0x40001000));
+    const std::uint64_t nodes = table.nodeCount();
+
+    const Addr super = os.allocFrame(PageSize::Page2M);
+    table.map(0x40000000, PageSize::Page2M, super);
+    const Translation t = table.translate(0x40001000);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.size, PageSize::Page2M);
+    EXPECT_EQ(table.nodeCount(), nodes - 1); // the empty L1 node
+
+    // But mapping over a *live* translation still dies.
+    EXPECT_DEATH(table.map(0x40000000, PageSize::Page2M,
+                           os.allocFrame(PageSize::Page2M)),
+                 "double mapping");
+}
+
 } // namespace
 } // namespace tempo

@@ -17,7 +17,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hh"
 #include "core/tempo_system.hh"
+#include "vm/translator.hh"
 
 namespace tempo {
 namespace {
@@ -240,6 +242,116 @@ TEST(TempoProperty, SuperpagesReduceButDontEliminateBenefit)
     EXPECT_GE(b4k, bthp * 0.75);
     // 1GB pages shrink the benefit substantially.
     EXPECT_LT(b1g, bthp);
+}
+
+TEST(TranslatorProperty, MemoEqualsFunctionalWalkAfterAnyMutations)
+{
+    // Invalidation-completeness property for the memoized translation
+    // fast path (vm/translator.hh): after ANY randomized sequence of
+    // page-table mutations, a full sweep of the memoized translator
+    // over every mapped VPN — with the memo deliberately warmed before
+    // each mutation burst — equals a fresh functional walk. A single
+    // stale PTE served anywhere fails the sweep.
+    for (const std::uint64_t seed : {11ull, 12ull, 13ull}) {
+        Rng rng(seed);
+        OsMemory os{OsMemoryConfig{}};
+        PageTable table{os};
+        Translator memo{table};
+        std::map<Addr, PageSize> leaves;
+
+        constexpr Addr kUniverse = Addr{4} << 30;
+        auto mapFresh = [&](PageSize size) {
+            const Addr bytes = pageBytes(size);
+            const Addr base = alignDown(rng.below(kUniverse), bytes);
+            auto it = leaves.lower_bound(base);
+            if (it != leaves.end() && it->first < base + bytes)
+                return;
+            if (it != leaves.begin()
+                && std::prev(it)->first
+                           + pageBytes(std::prev(it)->second)
+                       > base)
+                return;
+            const Addr frame = os.allocFrame(size);
+            if (frame == kInvalidAddr)
+                return;
+            table.map(base, size, frame, rng.chance(0.8));
+            leaves.emplace(base, size);
+        };
+
+        for (int burst = 0; burst < 20; ++burst) {
+            // Warm the memo on everything currently mapped, so the
+            // mutations below hit live entries.
+            for (const auto &[base, size] : leaves)
+                memo.translate(base + rng.below(pageBytes(size)));
+
+            for (int m = 0; m < 30; ++m) {
+                const std::uint64_t roll = rng.below(100);
+                if (roll < 40) {
+                    mapFresh(rng.chance(0.8) ? PageSize::Page4K
+                                             : PageSize::Page2M);
+                } else if (roll < 60 && !leaves.empty()) {
+                    auto it = leaves.begin();
+                    std::advance(it, static_cast<long>(
+                                         rng.below(leaves.size())));
+                    table.unmap(it->first);
+                    leaves.erase(it);
+                } else if (roll < 75 && !leaves.empty()) {
+                    auto it = leaves.begin();
+                    std::advance(it, static_cast<long>(
+                                         rng.below(leaves.size())));
+                    const Addr frame = os.allocFrame(it->second);
+                    if (frame != kInvalidAddr)
+                        table.remap(it->first, it->second, frame,
+                                    rng.chance(0.8));
+                } else if (roll < 90 && !leaves.empty()) {
+                    auto it = leaves.begin();
+                    std::advance(it, static_cast<long>(
+                                         rng.below(leaves.size())));
+                    table.protect(it->first, rng.chance(0.5));
+                } else {
+                    const Addr bytes = pageBytes(PageSize::Page2M);
+                    const Addr base =
+                        alignDown(rng.below(kUniverse), bytes);
+                    auto it = leaves.lower_bound(base);
+                    const bool split_super =
+                        it != leaves.begin()
+                        && std::prev(it)->first
+                                   + pageBytes(std::prev(it)->second)
+                               > base
+                        && pageBytes(std::prev(it)->second) > bytes;
+                    if (split_super)
+                        continue;
+                    const Addr frame = os.allocFrame(PageSize::Page2M);
+                    if (frame == kInvalidAddr)
+                        continue;
+                    table.promote(base, PageSize::Page2M, frame,
+                                  rng.chance(0.8));
+                    leaves.erase(leaves.lower_bound(base),
+                                 leaves.lower_bound(base + bytes));
+                    leaves.emplace(base, PageSize::Page2M);
+                }
+            }
+
+            // The sweep: every mapped 4K VPN, memo vs fresh walk.
+            for (const auto &[base, size] : leaves) {
+                const Addr bytes = pageBytes(size);
+                // Every VPN of 4K pages; sampled stride for superpages
+                // (identical coverage guarantees, bounded cost).
+                const Addr stride =
+                    size == PageSize::Page4K ? kPageBytes : bytes / 16;
+                for (Addr off = 0; off < bytes; off += stride) {
+                    const Addr va = base + off;
+                    const Translation want = table.translate(va);
+                    const Translation got = memo.translate(va);
+                    ASSERT_EQ(got.valid, want.valid) << va;
+                    ASSERT_TRUE(got.valid) << va;
+                    ASSERT_EQ(got.pframe, want.pframe) << va;
+                    ASSERT_EQ(got.size, want.size) << va;
+                    ASSERT_EQ(got.writable, want.writable) << va;
+                }
+            }
+        }
+    }
 }
 
 } // namespace

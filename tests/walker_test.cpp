@@ -9,7 +9,8 @@ struct WalkerFixture : public ::testing::Test {
     OsMemory os{OsMemoryConfig{}};
     PageTable table{os};
     MmuCache mmu{MmuCacheConfig{}};
-    Walker walker{table, mmu};
+    Translator translator{table};
+    Walker walker{translator, mmu};
 
     void
     map4K(Addr vaddr)
@@ -191,6 +192,93 @@ TEST_F(WalkerFixture, StatsCountWalksAndRefs)
     EXPECT_EQ(walker.walks(), 2u);
     EXPECT_EQ(walker.ptRefsIssued(), 5u);  // 4 + 1
     EXPECT_EQ(walker.ptRefsSkipped(), 3u); // second walk skips 3
+}
+
+// The memoized translator must be invisible at the counter level: two
+// walkers over identically mapped tables — one planning through the
+// memo, one through the reference path — produce the same fetch plans,
+// the same MMU-cache probe outcomes, and the same walker statistics
+// for an arbitrary interleaved plan/finish/mutate sequence.
+TEST(WalkerNeutrality, MemoAndReferenceWalkersAgree)
+{
+    struct Rig {
+        OsMemory os{OsMemoryConfig{}};
+        PageTable table{os};
+        MmuCache mmu{MmuCacheConfig{}};
+        Translator translator;
+        Walker walker{translator, mmu};
+
+        explicit Rig(bool reference)
+            : translator(table, [&] {
+                  TranslatorConfig cfg;
+                  cfg.useReferenceTranslator = reference;
+                  return cfg;
+              }())
+        {
+        }
+    };
+    Rig memo(false);
+    Rig ref(true);
+    ASSERT_FALSE(memo.translator.usingReference());
+    ASSERT_TRUE(ref.translator.usingReference());
+
+    // Identical mutation + walk schedule on both rigs. Frame addresses
+    // match because both OsMemory allocators see the same request
+    // sequence.
+    const auto onBoth = [&](auto &&step) {
+        step(memo);
+        step(ref);
+    };
+    const Addr kVas[] = {0x1234000, 0x1235000, 0x40000000,
+                         Addr{2} << 30, Addr{7} << 39};
+    onBoth([&](Rig &r) {
+        r.table.map(0x1234000, PageSize::Page4K,
+                    r.os.allocFrame(PageSize::Page4K));
+        r.table.map(0x1235000, PageSize::Page4K,
+                    r.os.allocFrame(PageSize::Page4K));
+        r.table.map(0x40000000, PageSize::Page2M,
+                    r.os.allocFrame(PageSize::Page2M));
+        r.table.map(Addr{2} << 30, PageSize::Page1G,
+                    r.os.allocFrame(PageSize::Page1G));
+    });
+
+    for (int round = 0; round < 6; ++round) {
+        for (const Addr va : kVas) {
+            const WalkPlan a = memo.walker.plan(va);
+            const WalkPlan b = ref.walker.plan(va);
+            EXPECT_EQ(a.xlate.valid, b.xlate.valid) << va;
+            ASSERT_EQ(a.fetches.size(), b.fetches.size()) << va;
+            for (std::size_t i = 0; i < a.fetches.size(); ++i) {
+                EXPECT_EQ(a.fetches[i].level, b.fetches[i].level);
+                EXPECT_EQ(a.fetches[i].pteAddr, b.fetches[i].pteAddr);
+            }
+            if (round % 2 == 0) {
+                memo.walker.finish(va, a);
+                ref.walker.finish(va, b);
+            }
+        }
+        // Mid-sequence mutations: the memo must re-plan from the new
+        // table state, with the same MMU-cache interaction.
+        if (round == 2) {
+            onBoth([&](Rig &r) {
+                r.table.unmap(0x1234000);
+                r.table.map(0x1234000, PageSize::Page4K,
+                            r.os.allocFrame(PageSize::Page4K));
+                r.table.promote(0x1200000, PageSize::Page2M,
+                                r.os.allocFrame(PageSize::Page2M));
+                // Promotion moves a leaf up into a level the MMU
+                // caches hold: flush them, as a real shootdown would.
+                r.mmu.reset();
+            });
+        }
+    }
+
+    EXPECT_EQ(memo.walker.walks(), ref.walker.walks());
+    EXPECT_EQ(memo.walker.ptRefsIssued(), ref.walker.ptRefsIssued());
+    EXPECT_EQ(memo.walker.ptRefsSkipped(), ref.walker.ptRefsSkipped());
+    EXPECT_EQ(memo.mmu.hits(), ref.mmu.hits());
+    EXPECT_EQ(memo.mmu.misses(), ref.mmu.misses());
+    EXPECT_GT(memo.translator.walkHits(), 0u); // memo actually engaged
 }
 
 } // namespace

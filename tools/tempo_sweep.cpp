@@ -47,6 +47,7 @@ struct SweepArgs {
     bool tempo = false;
     bool compare = false;
     bool profile = false;
+    bool referenceTranslator = false;
 };
 
 [[noreturn]] void
@@ -56,6 +57,7 @@ usage(int status)
         "usage: tempo_sweep --key SECTION.KEY --values V1,V2,...\n"
         "  [--workload NAME] [--refs N] [--warmup N]\n"
         "  [--jobs N] [--json PATH] [--profile]\n"
+        "  [--reference-translator]\n"
         "  [--retries N] [--point-timeout S] [--checkpoint PATH]\n"
         "  [--tempo | --compare]\n"
         "Keys are the INI config keys (src/cli/config_file.hh),\n"
@@ -110,6 +112,8 @@ parseArgs(int argc, char **argv)
             args.compare = true;
         else if (arg == "--profile")
             args.profile = true;
+        else if (arg == "--reference-translator")
+            args.referenceTranslator = true;
         else if (arg == "--help" || arg == "-h")
             usage(0);
         else
@@ -131,6 +135,7 @@ configFor(const SweepArgs &args, const std::string &value, bool tempo)
 {
     SystemConfig cfg = SystemConfig::skylakeScaled();
     cfg.withTempo(tempo);
+    cfg.translator.useReferenceTranslator = args.referenceTranslator;
     const std::size_t dot = args.key.find('.');
     const std::string ini = "[" + args.key.substr(0, dot) + "]\n"
         + args.key.substr(dot + 1) + " = " + value + "\n";
