@@ -1,0 +1,214 @@
+/**
+ * @file
+ * perf_shard: wall-clock scaling of the sharded in-point engine on
+ * multiprogrammed mixes, with a built-in determinism check.
+ *
+ *   perf_shard [--refs N] [--apps LIST] [--max-workers N]
+ *
+ * Each trial runs one N-app mix (the fairness-mix app set, cycled) on
+ * the sharded engine at worker counts 1, 2, 4, ... and compares every
+ * run's complete statistics fingerprint — per-app finish times, every
+ * per-app report entry, and the shared DRAM/MC/LLC reports — against
+ * the 1-worker oracle. ANY divergence is a determinism bug and the
+ * bench exits non-zero; CI runs it as a regression gate.
+ *
+ * Throughput is reported as simulated events/sec (both engines execute
+ * the same event set at a given shard count, so events/sec is a fair
+ * wall-clock proxy) plus the speedup over the 1-worker run of the SAME
+ * engine. The legacy inline engine is timed as a reference row but is
+ * a different timing model (see docs/MODEL.md "Sharded execution"), so
+ * it participates in neither the fingerprint check nor the speedup.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/multi_system.hh"
+
+namespace {
+
+using namespace tempo;
+
+/** FNV-1a over every statistic a mix run produces. */
+struct Fingerprint {
+    std::uint64_t state = 1469598103934665603ull;
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (unsigned i = 0; i < 8; ++i) {
+            state ^= (v >> (8 * i)) & 0xff;
+            state *= 1099511628211ull;
+        }
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    report(const stats::Report &r)
+    {
+        for (const auto &[name, value] : r.entries()) {
+            for (const char c : name)
+                u64(static_cast<unsigned char>(c));
+            f64(value);
+        }
+    }
+};
+
+struct Trial {
+    std::uint64_t fingerprint = 0;
+    std::uint64_t events = 0;
+    double seconds = 0;
+};
+
+Trial
+runTrial(const SystemConfig &cfg, const std::vector<std::string> &names,
+         std::uint64_t refs_per_app)
+{
+    const auto start = std::chrono::steady_clock::now();
+    MultiSystem system(cfg, makeMix(names, cfg.seed));
+    const MultiResult result = system.run(refs_per_app);
+    const auto stop = std::chrono::steady_clock::now();
+
+    Trial trial;
+    trial.seconds = std::chrono::duration<double>(stop - start).count();
+    trial.events = system.machine().eq.executed();
+
+    Fingerprint fp;
+    fp.u64(result.runtime);
+    for (std::size_t i = 0; i < system.numCores(); ++i) {
+        fp.u64(result.appFinish[i]);
+        stats::Report app_report;
+        result.appStats[i].report(app_report);
+        fp.report(app_report);
+        if (cfg.shards > 0)
+            trial.events += system.core(i).eq().executed();
+    }
+    stats::Report shared;
+    system.machine().mc.report(shared);
+    system.machine().dram.report(shared);
+    fp.u64(system.machine().llc.cache().hits());
+    fp.u64(system.machine().llc.cache().misses());
+    fp.report(shared);
+    trial.fingerprint = fp.state;
+    return trial;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t refs_per_app = 12000;
+    std::vector<unsigned> app_counts = {8, 32};
+    unsigned max_workers = 8;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--refs") == 0 && i + 1 < argc) {
+            refs_per_app = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--apps") == 0 && i + 1 < argc) {
+            app_counts.clear();
+            for (const char *p = argv[++i]; *p;) {
+                app_counts.push_back(
+                    static_cast<unsigned>(std::strtoul(p, nullptr, 10)));
+                while (*p && *p != ',')
+                    ++p;
+                if (*p == ',')
+                    ++p;
+            }
+        } else if (std::strcmp(argv[i], "--max-workers") == 0
+                   && i + 1 < argc) {
+            max_workers =
+                static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+        } else {
+            std::fprintf(stderr,
+                         "usage: perf_shard [--refs N] [--apps L1,L2] "
+                         "[--max-workers N]\n");
+            return 2;
+        }
+    }
+    if (refs_per_app == 0 || app_counts.empty() || max_workers == 0) {
+        std::fprintf(stderr, "error: bad arguments\n");
+        return 2;
+    }
+
+    const std::vector<std::string> pool = {
+        "xsbench",     "mcf",       "lbm.medium", "astar.small",
+        "canneal",     "milc.medium", "gcc.small",  "hmmer.small",
+    };
+
+    std::vector<unsigned> worker_counts;
+    for (unsigned w = 1; w <= max_workers; w *= 2)
+        worker_counts.push_back(w);
+
+    bool diverged = false;
+    for (const unsigned napps : app_counts) {
+        std::vector<std::string> names;
+        for (unsigned i = 0; i < napps; ++i)
+            names.push_back(pool[i % pool.size()]);
+        const SystemConfig base =
+            bench::multiprogMachine(SystemConfig::skylakeScaled(), napps);
+
+        std::printf("%u apps x %llu refs\n", napps,
+                    static_cast<unsigned long long>(refs_per_app));
+        std::printf("%-10s %12s %14s %9s\n", "engine", "events",
+                    "events/sec", "speedup");
+
+        // Reference row: the legacy inline engine (different timing
+        // model — informational only, excluded from the checks).
+        const Trial inline_trial = runTrial(base, names, refs_per_app);
+        std::printf("%-10s %12llu %14.0f %9s\n", "inline",
+                    static_cast<unsigned long long>(inline_trial.events),
+                    static_cast<double>(inline_trial.events)
+                        / inline_trial.seconds,
+                    "-");
+
+        double oracle_rate = 0;
+        std::uint64_t oracle_fp = 0;
+        for (const unsigned workers : worker_counts) {
+            SystemConfig cfg = base;
+            cfg.withShards(workers);
+            const Trial trial = runTrial(cfg, names, refs_per_app);
+            const double rate =
+                static_cast<double>(trial.events) / trial.seconds;
+            if (workers == 1) {
+                oracle_rate = rate;
+                oracle_fp = trial.fingerprint;
+            } else if (trial.fingerprint != oracle_fp) {
+                std::fprintf(
+                    stderr,
+                    "FAIL: %u apps, %u workers: stats fingerprint "
+                    "%016llx != 1-worker oracle %016llx\n",
+                    napps, workers,
+                    static_cast<unsigned long long>(trial.fingerprint),
+                    static_cast<unsigned long long>(oracle_fp));
+                diverged = true;
+            }
+            char label[32];
+            std::snprintf(label, sizeof(label), "shards=%u", workers);
+            std::printf("%-10s %12llu %14.0f %8.2fx\n", label,
+                        static_cast<unsigned long long>(trial.events),
+                        rate, rate / oracle_rate);
+        }
+        std::printf("\n");
+    }
+    if (diverged) {
+        std::fprintf(stderr,
+                     "FAIL: sharded runs diverged across worker "
+                     "counts\n");
+        return 1;
+    }
+    std::printf("all shard counts byte-identical\n");
+    return 0;
+}

@@ -67,6 +67,10 @@ usage()
         "  --subrow A          none | foa | poa sub-row buffers\n"
         "  --subrow-dedicated N  sub-rows reserved for prefetches\n"
         "  --seed N            RNG seed (default 42)\n"
+        "  --shards N          run each point on the sharded engine\n"
+        "                      with N worker threads (also via\n"
+        "                      TEMPO_SHARDS; 0 = legacy inline engine;\n"
+        "                      output is identical for every N >= 1)\n"
         "  --jobs N            worker threads for --compare runs\n"
         "                      (default: all cores, or TEMPO_JOBS)\n"
         "  --retries N         re-run a failed point up to N times with\n"
@@ -163,6 +167,9 @@ parse(const std::vector<std::string> &args)
                 parseU64(arg, next("--subrow-dedicated")));
         } else if (arg == "--seed") {
             options.seed = parseU64(arg, next("--seed"));
+        } else if (arg == "--shards") {
+            options.shards =
+                static_cast<unsigned>(parseU64(arg, next("--shards")));
         } else if (arg == "--jobs") {
             options.jobs =
                 static_cast<unsigned>(parseU64(arg, next("--jobs")));
@@ -253,6 +260,7 @@ toConfig(const Options &options)
         cfg.withSubRows(SubRowAlloc::POA, options.subrowDedicated);
 
     cfg.translator.useReferenceTranslator = options.referenceTranslator;
+    cfg.withShards(options.shards);
 
     // Config files layer on top of (and can override) the flags.
     if (!options.configPath.empty())

@@ -7,11 +7,14 @@
  * Off by default; the CLI's --profile flag enables it globally before
  * any run starts. When disabled, every instrumentation point costs one
  * relaxed atomic load and a predictable branch. When enabled, each run
- * opens a per-thread collection window (the parallel experiment engine
- * runs each point entirely on one worker thread, so windows never
- * interleave), and prof::Scope RAII markers attribute elapsed time to
- * the innermost active component — self time, not inclusive time: a
- * Dram scope inside an Mc scope bills the DRAM portion to Dram only.
+ * opens a per-thread collection window, and prof::Scope RAII markers
+ * attribute elapsed time to the innermost active component — self
+ * time, not inclusive time: a Dram scope inside an Mc scope bills the
+ * DRAM portion to Dram only. All mutable state is thread-local, so
+ * profiling is thread-safe by construction: the parallel experiment
+ * engine runs each point's window on one worker thread, and a sharded
+ * point opens one window per shard worker and sums them with
+ * Totals::add (barrier wait bills to Scheduler).
  *
  * Profile numbers are wall-clock and therefore NOT deterministic; they
  * are reported under the "profile." prefix only when --profile is on,
@@ -59,6 +62,17 @@ componentName(Component c)
 struct Totals {
     std::uint64_t ns[kNumComponents] = {};
     std::uint64_t calls[kNumComponents] = {};
+
+    /** Merge another window into this one (sharded runs open one
+     * window per worker thread and sum them into a point total). */
+    void
+    add(const Totals &other)
+    {
+        for (std::size_t i = 0; i < kNumComponents; ++i) {
+            ns[i] += other.ns[i];
+            calls[i] += other.calls[i];
+        }
+    }
 };
 
 /** Global opt-in; set once (e.g. from the CLI) before runs start. */

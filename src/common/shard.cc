@@ -1,0 +1,271 @@
+#include "common/shard.hh"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/log.hh"
+#include "common/watchdog.hh"
+
+namespace tempo {
+
+namespace {
+
+/** Polite busy-wait hint; epochs are microseconds apart, so workers
+ * spin rather than sleep, but they should not starve hyperthread
+ * siblings while doing it. */
+inline void
+cpuPause()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+}
+
+} // namespace
+
+thread_local ShardEngine::Domain *ShardEngine::tlsDomain_ = nullptr;
+
+ShardEngine::ShardEngine(Cycle quantum, unsigned workers)
+    : quantum_(quantum), workers_(std::max(1u, workers))
+{
+    TEMPO_ASSERT(quantum_ > 0, "shard quantum must be positive");
+}
+
+DomainId
+ShardEngine::addDomain(EventQueue *eq)
+{
+    TEMPO_ASSERT(eq, "domain needs an event queue");
+    TEMPO_ASSERT(!running_, "cannot add domains while running");
+    domains_.push_back(Domain{eq, {}, 0});
+    return static_cast<DomainId>(domains_.size() - 1);
+}
+
+void
+ShardEngine::post(DomainId dst, Cycle when, MessageFn fn)
+{
+    Domain *src = tlsDomain_;
+    TEMPO_ASSERT(src, "post() called outside a domain slice");
+    TEMPO_ASSERT(dst < domains_.size(), "bad destination domain ", dst);
+    TEMPO_ASSERT(when >= src->eq->now() + quantum_,
+                 "cross-domain message under the lookahead quantum: ",
+                 when, " < ", src->eq->now(), " + ", quantum_);
+    src->outbox.push_back(
+        Message{when, src->nextSeq++, dst, std::move(fn)});
+}
+
+ShardEngine::Barrier::Barrier(unsigned parties)
+    : parties_(parties),
+      // With a hardware thread per worker, spin tens of microseconds
+      // before the first yield — descheduling costs more than a whole
+      // epoch. Oversubscribed (fewer cores than workers), spinning
+      // only burns the timeslice the straggler needs, so yield almost
+      // immediately.
+      spinLimit_(std::thread::hardware_concurrency() >= parties
+                     ? (1u << 14)
+                     : 16)
+{
+}
+
+void
+ShardEngine::Barrier::arriveAndWait()
+{
+    const std::uint32_t phase = phase_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1
+        == parties_) {
+        arrived_.store(0, std::memory_order_relaxed);
+        phase_.store(phase + 1, std::memory_order_release);
+        return;
+    }
+    std::uint32_t spins = 0;
+    while (phase_.load(std::memory_order_acquire) == phase) {
+        cpuPause();
+        if (++spins >= spinLimit_) {
+            std::this_thread::yield();
+            spins = 0;
+        }
+    }
+}
+
+unsigned
+ShardEngine::ownerOf(DomainId d, unsigned num_workers) const
+{
+    // Pure load distribution — results never depend on placement. The
+    // shared domain (id 0, the heaviest) gets a dedicated worker when
+    // more than one is available; app domains round-robin over the
+    // rest.
+    if (num_workers == 1)
+        return 0;
+    if (d == 0)
+        return 0;
+    return 1 + (d - 1) % (num_workers - 1);
+}
+
+void
+ShardEngine::run()
+{
+    TEMPO_ASSERT(!running_, "ShardEngine::run() re-entered");
+    TEMPO_ASSERT(!domains_.empty(), "no domains registered");
+    running_ = true;
+
+    // First epoch starts at the earliest pending event anywhere.
+    bool any = false;
+    Cycle start = 0;
+    for (const Domain &d : domains_) {
+        if (d.eq->empty())
+            continue;
+        const Cycle t = d.eq->nextTime();
+        if (!any || t < start)
+            start = t;
+        any = true;
+    }
+    if (!any) {
+        running_ = false;
+        return;
+    }
+    failed_.store(false, std::memory_order_relaxed);
+
+    // More workers than domains would only spin at the barrier.
+    const unsigned num_workers = static_cast<unsigned>(std::min(
+        static_cast<std::size_t>(workers_), domains_.size()));
+    workerError_.assign(num_workers, nullptr);
+    routeScratch_.assign(num_workers, {});
+    minNext_.assign(num_workers, kNoEvent);
+    routedCount_.assign(num_workers, 0);
+
+    Barrier barrier(num_workers);
+    std::vector<std::thread> threads;
+    threads.reserve(num_workers - 1);
+    for (unsigned w = 1; w < num_workers; ++w) {
+        threads.emplace_back([this, w, num_workers, start, &barrier] {
+            workerLoop(w, num_workers, start, barrier);
+        });
+    }
+    workerLoop(0, num_workers, start, barrier);
+    for (std::thread &t : threads)
+        t.join();
+    running_ = false;
+
+    for (const std::uint64_t count : routedCount_)
+        stats_.messages += count;
+    for (const std::exception_ptr &err : workerError_) {
+        if (err)
+            std::rethrow_exception(err);
+    }
+}
+
+void
+ShardEngine::workerLoop(unsigned worker, unsigned num_workers,
+                        Cycle epoch_start, Barrier &barrier)
+{
+    const bool profile = collectProfile && prof::enabled();
+    if (profile)
+        prof::beginWindow();
+
+    while (true) {
+        if (!failed_.load(std::memory_order_relaxed)) {
+            try {
+                // Run this worker's domains through
+                // [epoch_start, epoch_start + quantum): runUntil is
+                // inclusive, so stop one cycle short. Domains with no
+                // event inside the window are skipped without touching
+                // their clocks — events execute at their own
+                // timestamps, so a lagging idle clock is unobservable.
+                const Cycle until = epoch_start + quantum_ - 1;
+                for (DomainId d = 0; d < domains_.size(); ++d) {
+                    if (ownerOf(d, num_workers) != worker)
+                        continue;
+                    Domain &dom = domains_[d];
+                    // The previous routing phase consumed every
+                    // outbox; reclaim the storage before refilling.
+                    dom.outbox.clear();
+                    if (dom.eq->empty() || dom.eq->nextTime() > until)
+                        continue;
+                    if (onEnterDomain)
+                        onEnterDomain(d);
+                    tlsDomain_ = &dom;
+                    dom.eq->runUntil(until);
+                }
+                tlsDomain_ = nullptr;
+            } catch (...) {
+                tlsDomain_ = nullptr;
+                workerError_[worker] = std::current_exception();
+                failed_.store(true, std::memory_order_release);
+            }
+        }
+        barrier.arriveAndWait();
+        // Routing phase: every worker delivers the messages bound for
+        // its own domains and publishes their min next-event time.
+        if (!failed_.load(std::memory_order_relaxed)) {
+            try {
+                if (worker == 0)
+                    watchdog::poll();
+                routeFor(worker, num_workers);
+            } catch (...) {
+                if (!workerError_[worker])
+                    workerError_[worker] = std::current_exception();
+                failed_.store(true, std::memory_order_release);
+            }
+        }
+        barrier.arriveAndWait();
+        if (failed_.load(std::memory_order_acquire))
+            break;
+        // Distributed epoch advance: fold every worker's published
+        // min. All workers compute the identical value, so the epoch
+        // window needs no shared mutable state.
+        Cycle next = kNoEvent;
+        for (unsigned w = 0; w < num_workers; ++w)
+            next = std::min(next, minNext_[w]);
+        if (next == kNoEvent)
+            break;
+        epoch_start = next;
+        if (worker == 0)
+            ++stats_.epochs;
+    }
+
+    if (profile) {
+        const prof::Totals totals = prof::endWindow();
+        std::lock_guard<std::mutex> lock(profMutex_);
+        profTotals_.add(totals);
+    }
+}
+
+void
+ShardEngine::routeFor(unsigned worker, unsigned num_workers)
+{
+    // Canonical per-destination message order: walk the outboxes in
+    // domain-id order (entries within one outbox are already in
+    // per-source generation order) and stable-sort by delivery time,
+    // yielding (when, srcDomain, srcSeq) — a pure function of the
+    // simulation state, independent of worker count. Outboxes are
+    // read-shared here; only the fn of a message this worker owns is
+    // moved, so workers never write the same bytes.
+    std::vector<Message *> &scratch = routeScratch_[worker];
+    scratch.clear();
+    for (Domain &src : domains_) {
+        for (Message &m : src.outbox) {
+            if (ownerOf(m.dst, num_workers) == worker)
+                scratch.push_back(&m);
+        }
+    }
+    std::stable_sort(scratch.begin(), scratch.end(),
+                     [](const Message *a, const Message *b) {
+                         return a->when < b->when;
+                     });
+    routedCount_[worker] += scratch.size();
+    for (Message *m : scratch)
+        domains_[m->dst].eq->schedule(m->when, std::move(m->fn));
+    scratch.clear();
+
+    Cycle min_next = kNoEvent;
+    for (DomainId d = 0; d < domains_.size(); ++d) {
+        if (ownerOf(d, num_workers) != worker)
+            continue;
+        if (!domains_[d].eq->empty())
+            min_next = std::min(min_next, domains_[d].eq->nextTime());
+    }
+    minNext_[worker] = min_next;
+}
+
+} // namespace tempo

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * ShardEngine: deterministic multi-domain event execution for one
+ * simulation point.
+ *
+ * A sharded point partitions the machine into event-queue *domains* —
+ * one per application (core + TLB + MMU caches + walker + private
+ * caches + its own physical-memory partition) plus one shared-machine
+ * domain (LLC + MC + DRAM + BLISS + TEMPO engine). Each domain owns a
+ * calendar queue (common/event_queue.hh) and runs conservatively in
+ * epochs of a fixed quantum Q, the minimum cross-domain latency (the
+ * private-miss -> LLC port hop). Because every cross-domain message
+ * carries at least Q cycles of latency, events inside the epoch window
+ * [T, T+Q) can never be affected by a message generated in the same
+ * epoch — the classic conservative-PDES lookahead argument — so the
+ * domains execute their windows in parallel without ever seeing an
+ * event out of order.
+ *
+ * Messages generated during an epoch collect in per-domain outboxes.
+ * At the barrier every worker routes, in parallel, the messages bound
+ * for ITS OWN domains in canonical (when, srcDomain, srcSeq) order:
+ * it walks all outboxes in domain-id order (which fixes srcDomain and
+ * srcSeq for equal timestamps), keeps the messages it owns, and
+ * stable-sorts them by delivery time before insertion. Per-destination
+ * delivery order is therefore a pure function of the simulation state,
+ * never of thread scheduling or worker count, so results are
+ * bit-identical at ANY worker count — one worker is the differential
+ * oracle for eight. The next epoch start is a distributed reduction:
+ * each worker publishes the min next-event time of its domains and
+ * every worker independently folds the published values.
+ *
+ * Worker threads are dedicated to the engine for the duration of
+ * run(). They deliberately do NOT run as tasks on the shared
+ * work-stealing ThreadPool: an epoch is a few microseconds of work, so
+ * per-epoch task dispatch would dominate, and barrier-waiting tasks
+ * could deadlock a pool smaller than the shard count. A sense-counting
+ * spin barrier (with yield backoff) keeps the epoch handoff in the
+ * tens-of-nanoseconds range. The point-level watchdog stays on the
+ * calling thread, polled once per epoch.
+ */
+
+#ifndef TEMPO_COMMON_SHARD_HH
+#define TEMPO_COMMON_SHARD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/profiler.hh"
+#include "common/types.hh"
+
+namespace tempo {
+
+/** Index of one event-queue domain within a ShardEngine. */
+using DomainId = std::uint32_t;
+
+class ShardEngine
+{
+  public:
+    /** Deterministic engine counters (profiling the sharded run). */
+    struct Stats {
+        std::uint64_t epochs = 0;   //!< barrier rounds executed
+        std::uint64_t messages = 0; //!< cross-domain messages routed
+    };
+
+    /** Deferred cross-domain work; runs as an event on the target
+     * domain's queue at its delivery time. The 120-byte inline budget
+     * matches EventQueue::Callback so routing moves the callable
+     * without re-wrapping; oversized captures (a full MemRequest plus
+     * its reply continuation) fall back to the heap. */
+    using MessageFn = EventQueue::Callback;
+
+    /**
+     * @param quantum  epoch length = minimum cross-domain latency; every
+     *                 post() must be at least this far in the future.
+     * @param workers  threads that drive the domains (>= 1). The result
+     *                 is bit-identical for every value; 1 keeps
+     *                 everything on the calling thread.
+     */
+    ShardEngine(Cycle quantum, unsigned workers);
+
+    ShardEngine(const ShardEngine &) = delete;
+    ShardEngine &operator=(const ShardEngine &) = delete;
+
+    /** Register a domain before run(). The engine never owns the
+     * queue; it must outlive the engine's run(). Returns the domain's
+     * id — ids are assigned densely in registration order. */
+    DomainId addDomain(EventQueue *eq);
+
+    /**
+     * Post a cross-domain message from the currently-executing domain
+     * (run() must be active on this thread) to @p dst, delivered at
+     * absolute cycle @p when. Requires when >= sender now + quantum —
+     * the lookahead contract that makes epochs safe.
+     */
+    void post(DomainId dst, Cycle when, MessageFn fn);
+
+    /**
+     * Invoked on the owning worker thread every time it is about to
+     * execute a domain's slice of an epoch. Used to swap thread-local
+     * observability/profiling context per domain.
+     */
+    std::function<void(DomainId)> onEnterDomain;
+
+    /** Drive all domains to completion (every queue empty). Exceptions
+     * thrown inside a domain (asserts, injected faults) or by the
+     * watchdog abort the run and rethrow on the calling thread. */
+    void run();
+
+    Cycle quantum() const { return quantum_; }
+    unsigned workers() const { return workers_; }
+    std::size_t numDomains() const { return domains_.size(); }
+    const Stats &stats() const { return stats_; }
+
+    /** Collect per-worker profiler windows during run() (see
+     * common/profiler.hh); totals from all workers are summed here.
+     * Barrier wait bills to Scheduler — honest synchronization cost. */
+    bool collectProfile = false;
+    const prof::Totals &profTotals() const { return profTotals_; }
+
+  private:
+    struct Message {
+        Cycle when;
+        std::uint64_t seq; //!< per-source sequence (generation order)
+        DomainId dst;
+        MessageFn fn;
+    };
+
+    struct Domain {
+        EventQueue *eq = nullptr;
+        std::vector<Message> outbox;
+        std::uint64_t nextSeq = 0;
+    };
+
+    /** Sense-counting spin barrier; parties fixed per run(). On a
+     * machine with enough hardware threads it spins (a straggler is at
+     * most one epoch slice away, and descheduling costs more than the
+     * whole epoch); oversubscribed, it yields almost immediately so
+     * the other workers can reach the barrier at all. */
+    class Barrier
+    {
+      public:
+        explicit Barrier(unsigned parties);
+        void arriveAndWait();
+
+      private:
+        unsigned parties_;
+        std::uint32_t spinLimit_;
+        std::atomic<std::uint32_t> arrived_{0};
+        std::atomic<std::uint32_t> phase_{0};
+    };
+
+    /** Load-distribution map from domain to the worker that drives it;
+     * results never depend on it. */
+    unsigned ownerOf(DomainId d, unsigned num_workers) const;
+    /** One worker's epoch loop (worker 0 = the calling thread). */
+    void workerLoop(unsigned worker, unsigned num_workers,
+                    Cycle epoch_start, Barrier &barrier);
+    /** Parallel routing phase: deliver the messages bound for this
+     * worker's domains and publish their min next-event time. */
+    void routeFor(unsigned worker, unsigned num_workers);
+
+    Cycle quantum_;
+    unsigned workers_;
+    std::vector<Domain> domains_;
+    /** Per-worker routing scratch (message pointers into outboxes). */
+    std::vector<std::vector<Message *>> routeScratch_;
+    /** Per-worker min next-event time after routing (kNoEvent = none);
+     * written by its worker between the barriers, read by every worker
+     * after the second barrier for the distributed epoch advance. */
+    std::vector<Cycle> minNext_;
+    /** Per-worker routed-message counters, summed into stats_. */
+    std::vector<std::uint64_t> routedCount_;
+
+    static constexpr Cycle kNoEvent = ~Cycle{0};
+
+    std::atomic<bool> failed_{false};
+    std::vector<std::exception_ptr> workerError_;
+
+    Stats stats_;
+    prof::Totals profTotals_;
+    std::mutex profMutex_;
+
+    //! Currently-executing domain on this thread (message source).
+    static thread_local Domain *tlsDomain_;
+
+    bool running_ = false;
+};
+
+} // namespace tempo
+
+#endif // TEMPO_COMMON_SHARD_HH

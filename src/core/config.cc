@@ -163,6 +163,13 @@ SystemConfig::digest() const
     h.e(tlbPrefetchNext);
     h.u64(seed);
 
+    // Sharding is hashed as an engine flag only: results depend on
+    // WHETHER the sharded engine runs, never on how many workers drive
+    // it, so shards=1/2/8 share a digest (and legacy digests are
+    // unchanged because zero contributes nothing).
+    if (shards)
+        h.u64(1);
+
     return h.state;
 }
 
@@ -246,6 +253,13 @@ SystemConfig::withSeed(std::uint64_t new_seed)
     seed = new_seed;
     os.seed = new_seed + 1;
     vm.seed = new_seed + 2;
+    return *this;
+}
+
+SystemConfig &
+SystemConfig::withShards(unsigned new_shards)
+{
+    shards = new_shards;
     return *this;
 }
 

@@ -74,6 +74,17 @@ struct SystemConfig {
      * translation of the next virtual page into the TLB. */
     bool tlbPrefetchNext = false;
 
+    /**
+     * Sharded in-point parallelism: 0 (default) runs the legacy inline
+     * engine on one event queue; N >= 1 partitions the point into
+     * per-app domains plus a shared-machine domain driven by a
+     * ShardEngine with N worker threads. Output is bit-identical for
+     * any N >= 1 (N = 1 is the single-threaded oracle) but the sharded
+     * engine is its own timing model, distinct from the legacy
+     * schedule (docs/MODEL.md "Sharded execution").
+     */
+    unsigned shards = 0;
+
     std::uint64_t seed = 42;
 
     /**
@@ -99,6 +110,7 @@ struct SystemConfig {
     SystemConfig &withImp(bool on);
     SystemConfig &withSubRows(SubRowAlloc alloc, unsigned dedicated);
     SystemConfig &withSeed(std::uint64_t seed);
+    SystemConfig &withShards(unsigned shards);
 };
 
 } // namespace tempo

@@ -1,0 +1,127 @@
+#include "core/machine.hh"
+
+#include "common/log.hh"
+
+namespace tempo {
+
+void
+Machine::attachShardEngine(ShardEngine *engine, unsigned num_apps)
+{
+    TEMPO_ASSERT(engine, "null shard engine");
+    TEMPO_ASSERT(!shardEngine_, "shard engine already attached");
+    TEMPO_ASSERT(engine->quantum() == portLatency(),
+                 "shard quantum must equal the port latency");
+    TEMPO_ASSERT(num_apps > 0, "sharded machine needs apps");
+    shardEngine_ = engine;
+    shardApps_ = num_apps;
+    sharedDomain_ = engine->addDomain(&eq);
+}
+
+DomainId
+Machine::registerAppDomain(EventQueue *app_eq)
+{
+    TEMPO_ASSERT(shardEngine_, "no shard engine attached");
+    return shardEngine_->addDomain(app_eq);
+}
+
+void
+Machine::portRequest(DomainId src, Cycle send_at, MemRequest req,
+                     PortReplyFn reply)
+{
+    shardEngine_->post(
+        sharedDomain_, send_at + portLatency(),
+        [this, src, req = std::move(req),
+         reply = std::move(reply)]() mutable {
+            handleRequest(src, std::move(req), std::move(reply));
+        });
+}
+
+void
+Machine::portWriteback(Cycle send_at, Addr line, AppId app)
+{
+    shardEngine_->post(sharedDomain_, send_at + portLatency(),
+                       [this, line, app] { submitWriteback(line, app); });
+}
+
+void
+Machine::portWarmupNotify(Cycle send_at)
+{
+    shardEngine_->post(sharedDomain_, send_at + portLatency(), [this] {
+        TEMPO_ASSERT(warmedApps_ < shardApps_, "warmup over-notified");
+        if (++warmedApps_ == shardApps_) {
+            mc.resetStats();
+            dram.resetStats();
+            llc.resetStats();
+            if (onSharedWarmed)
+                onSharedWarmed();
+        }
+    });
+}
+
+void
+Machine::sendReply(DomainId dst, PortReplyFn reply, const PortReply &r)
+{
+    shardEngine_->post(dst, r.res.complete,
+                       [reply = std::move(reply), r]() mutable {
+                           reply(r);
+                       });
+}
+
+void
+Machine::handleRequest(DomainId src, MemRequest req, PortReplyFn reply)
+{
+    const Cycle arrival = eq.now();
+    const Addr line = lineAddr(req.paddr);
+
+    // The LLC probe happens here, in the shared domain. This also
+    // covers the legacy "prefetch landed while the lookup was in
+    // flight" case: any fill that completed before arrival is visible.
+    if (llc.cache().lookup(line)) {
+        if (req.isWrite)
+            llc.cache().markDirty(line);
+        PortReply r;
+        r.point = PortReply::Point::Llc;
+        r.res.complete = arrival + portLatency();
+        sendReply(src, std::move(reply), r);
+        return;
+    }
+
+    // Replays merge with an in-flight TEMPO prefetch of their line
+    // (the paper's partial-overlap case). The predicate check avoids
+    // constructing the waiter speculatively: a failed merge destroys
+    // the moved-in waiter, and the reply continuation with it.
+    if (req.kind == ReqKind::Replay && mc.hasPendingPrefetch(line)) {
+        const bool merged = mc.mergeWithPendingPrefetch(
+            line, [this, src, reply = std::move(reply)](
+                      Cycle done) mutable {
+                PortReply r;
+                r.point = PortReply::Point::Merged;
+                r.res.complete = done + portLatency();
+                sendReply(src, std::move(reply), r);
+            });
+        TEMPO_ASSERT(merged, "pending prefetch vanished mid-call");
+        return;
+    }
+
+    // Full memory-controller round trip. The LLC fill happens here at
+    // DRAM completion (the core fills its private levels when the
+    // reply arrives); a dirty LLC victim becomes a writeback.
+    const AppId app = req.app;
+    const bool is_write = req.isWrite;
+    req.onComplete = [this, src, line, is_write, app,
+                      reply = std::move(reply)](
+                         const MemResult &res) mutable {
+        const SetAssocCache::Victim victim =
+            llc.cache().insertTracked(line, is_write);
+        if (victim.addr != kInvalidAddr && victim.dirty)
+            submitWriteback(victim.addr, app);
+        PortReply r;
+        r.point = PortReply::Point::Dram;
+        r.res = res;
+        r.res.complete = res.complete + portLatency();
+        sendReply(src, std::move(reply), r);
+    };
+    mc.submit(std::move(req));
+}
+
+} // namespace tempo

@@ -11,11 +11,13 @@ namespace tempo {
 double
 MultiResult::weightedSpeedup(const std::vector<Cycle> &alone) const
 {
-    TEMPO_ASSERT(alone.size() == appFinish.size(),
-                 "alone/shared size mismatch");
+    // Tolerate ragged input (an alone-run that failed or was skipped
+    // leaves a zero or a missing entry): such apps contribute 0 instead
+    // of poisoning the sum with inf/NaN or tripping an assert.
+    const std::size_t n = std::min(alone.size(), appFinish.size());
     double ws = 0;
-    for (std::size_t i = 0; i < alone.size(); ++i) {
-        if (appFinish[i] > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+        if (alone[i] > 0 && appFinish[i] > 0) {
             ws += static_cast<double>(alone[i])
                 / static_cast<double>(appFinish[i]);
         }
@@ -26,11 +28,10 @@ MultiResult::weightedSpeedup(const std::vector<Cycle> &alone) const
 double
 MultiResult::maxSlowdown(const std::vector<Cycle> &alone) const
 {
-    TEMPO_ASSERT(alone.size() == appFinish.size(),
-                 "alone/shared size mismatch");
+    const std::size_t n = std::min(alone.size(), appFinish.size());
     double worst = 0;
-    for (std::size_t i = 0; i < alone.size(); ++i) {
-        if (alone[i] > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+        if (alone[i] > 0 && appFinish[i] > 0) {
             worst = std::max(worst,
                              static_cast<double>(appFinish[i])
                                  / static_cast<double>(alone[i]));
@@ -44,6 +45,12 @@ MultiSystem::MultiSystem(const SystemConfig &cfg,
     : machine_(cfg)
 {
     TEMPO_ASSERT(!workloads.empty(), "empty workload mix");
+    if (cfg.shards > 0) {
+        engine_ = std::make_unique<ShardEngine>(machine_.portLatency(),
+                                                cfg.shards);
+        machine_.attachShardEngine(
+            engine_.get(), static_cast<unsigned>(workloads.size()));
+    }
     AppId app = 0;
     for (auto &workload : workloads) {
         cores_.push_back(std::make_unique<SimCore>(machine_, app++,
@@ -62,7 +69,15 @@ MultiSystem::run(std::uint64_t refs_per_app,
             cores_[i]->setWarmupCallback(
                 warmup_per_app, [this, i, &warmed, &measure_from] {
                     cores_[i]->resetStats();
-                    measure_from[i] = machine_.eq.now();
+                    measure_from[i] = cores_[i]->eq().now();
+                    if (engine_) {
+                        // The shared machine resets when the LAST
+                        // core's notification arrives (Machine counts
+                        // them in the shared domain).
+                        machine_.portWarmupNotify(
+                            cores_[i]->eq().now());
+                        return;
+                    }
                     if (++warmed == cores_.size()) {
                         machine_.mc.resetStats();
                         machine_.dram.resetStats();
@@ -73,7 +88,10 @@ MultiSystem::run(std::uint64_t refs_per_app,
     }
     for (auto &core : cores_)
         core->start(refs_per_app + warmup_per_app);
-    machine_.eq.runAll();
+    if (engine_)
+        engine_->run();
+    else
+        machine_.eq.runAll();
 
     MultiResult result;
     for (std::size_t i = 0; i < cores_.size(); ++i) {

@@ -32,12 +32,15 @@ struct MultiResult {
 
     /**
      * Weighted speedup versus per-app alone runtimes:
-     * sum_i (t_alone_i / t_shared_i). Higher is better.
+     * sum_i (t_alone_i / t_shared_i). Higher is better. Robust against
+     * degenerate inputs rather than asserting: apps beyond the shorter
+     * of the two vectors and apps with a zero (missing) runtime on
+     * either side contribute nothing, so the result is always finite.
      */
     double weightedSpeedup(const std::vector<Cycle> &alone) const;
 
     /** Maximum slowdown: max_i (t_shared_i / t_alone_i). Lower is
-     * better. */
+     * better. Degenerate entries are skipped as in weightedSpeedup(). */
     double maxSlowdown(const std::vector<Cycle> &alone) const;
 };
 
@@ -63,6 +66,9 @@ class MultiSystem
 
   private:
     Machine machine_;
+    /** Present iff cfg.shards > 0; must outlive cores_ (each core
+     * registers its domain queue with it). */
+    std::unique_ptr<ShardEngine> engine_;
     std::vector<std::unique_ptr<SimCore>> cores_;
 };
 

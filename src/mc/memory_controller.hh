@@ -92,6 +92,17 @@ class MemoryController
      */
     bool mergeWithPendingPrefetch(Addr line, Waiter waiter);
 
+    /** True when a TEMPO prefetch for @p line is currently in flight
+     * (a mergeWithPendingPrefetch() call would succeed). Lets callers
+     * avoid constructing a waiter speculatively: the merge consumes
+     * the waiter even when it returns false. */
+    bool
+    hasPendingPrefetch(Addr line) const
+    {
+        return pendingPrefetch_.find(lineAddr(line))
+            != pendingPrefetch_.end();
+    }
+
     // --- Statistics ---
     std::uint64_t served(ReqKind kind) const;
     std::uint64_t tempoPrefetchesIssued() const { return pfIssued_; }

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/multi_system.hh"
 
 namespace tempo {
@@ -125,6 +127,48 @@ TEST(MultiSystem, WarmupWindowsWork)
         EXPECT_LT(warm_result.appFinish[i], cold_result.appFinish[i]);
         EXPECT_GT(warm_result.appFinish[i], 0u);
     }
+}
+
+// The fairness metrics must tolerate ragged alone-runtime input: an
+// alone run that failed or was skipped leaves a zero or a missing
+// entry, and the mix summary must stay finite instead of dividing by
+// zero or walking off the end.
+TEST(MultiResultMetrics, WeightedSpeedupSkipsDegenerateEntries)
+{
+    MultiResult result;
+    result.appFinish = {100, 200, 0, 50};
+    result.runtime = 200;
+
+    // App 0 is the only clean pair: alone[1] is zero (failed alone
+    // run), alone has no entry for app 3, and app 2 never finished.
+    const std::vector<Cycle> alone = {200, 0, 300};
+    const double ws = result.weightedSpeedup(alone);
+    EXPECT_TRUE(std::isfinite(ws));
+    EXPECT_DOUBLE_EQ(ws, 2.0);
+
+    const double slow = result.maxSlowdown(alone);
+    EXPECT_TRUE(std::isfinite(slow));
+    EXPECT_DOUBLE_EQ(slow, 0.5);
+}
+
+TEST(MultiResultMetrics, MetricsToleratEmptyAndOversizedAlone)
+{
+    MultiResult result;
+    result.appFinish = {100, 200};
+
+    EXPECT_DOUBLE_EQ(result.weightedSpeedup({}), 0.0);
+    EXPECT_DOUBLE_EQ(result.maxSlowdown({}), 0.0);
+
+    // More alone entries than apps: the tail is ignored, not read out
+    // of bounds.
+    const std::vector<Cycle> oversized = {100, 100, 999, 999};
+    EXPECT_DOUBLE_EQ(result.weightedSpeedup(oversized), 1.5);
+    EXPECT_DOUBLE_EQ(result.maxSlowdown(oversized), 2.0);
+
+    // All-degenerate input collapses to zero, never NaN.
+    const std::vector<Cycle> zeros = {0, 0};
+    EXPECT_DOUBLE_EQ(result.weightedSpeedup(zeros), 0.0);
+    EXPECT_DOUBLE_EQ(result.maxSlowdown(zeros), 0.0);
 }
 
 TEST(MultiSystemDeathTest, EmptyMixRejected)

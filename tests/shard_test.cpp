@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Sharded-execution determinism suite. The ShardEngine's contract is
+ * that results are a pure function of the simulation state, never of
+ * the worker count or thread scheduling, so every test here compares
+ * full statistics across worker counts 1/2/4 — the 1-worker run is the
+ * differential oracle for the parallel ones.
+ *
+ * Sharded goldens pin the sharded timing model itself (it differs from
+ * the legacy inline engine by design — see docs/MODEL.md "Sharded
+ * execution"); regenerate them like the legacy goldens when a model
+ * change is intentional.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cli/config_file.hh"
+#include "common/event_queue.hh"
+#include "common/profiler.hh"
+#include "common/shard.hh"
+#include "core/experiment.hh"
+#include "core/multi_system.hh"
+#include "core/tempo_system.hh"
+#include "stats/json.hh"
+
+#ifndef TEMPO_CONFIG_DIR
+#error "TEMPO_CONFIG_DIR must point at the committed configs/"
+#endif
+
+namespace tempo {
+namespace {
+
+// Multi-worker runs serialize onto one CPU on small CI boxes, so keep
+// the sharded workloads short — determinism does not need length.
+constexpr std::uint64_t kRefs = 6000;
+
+/** Entry-by-entry report comparison with readable failure output. */
+void
+expectSameReport(const stats::Report &oracle, const stats::Report &got,
+                 const std::string &label)
+{
+    ASSERT_EQ(oracle.entries().size(), got.entries().size()) << label;
+    for (std::size_t i = 0; i < oracle.entries().size(); ++i) {
+        const auto &[name, value] = oracle.entries()[i];
+        EXPECT_EQ(name, got.entries()[i].first) << label;
+        EXPECT_EQ(value, got.entries()[i].second)
+            << label << ": stat " << name << " diverged";
+    }
+}
+
+// --- ShardEngine unit level ------------------------------------------
+
+/** Two domains ping-pong a message chain; any worker count must see
+ * the identical delivery log and the engine must count every hop. */
+TEST(ShardEngine, PingPongIsWorkerCountInvariant)
+{
+    constexpr Cycle kQuantum = 10;
+    constexpr int kHops = 50;
+
+    auto run = [&](unsigned workers) {
+        auto log = std::make_shared<std::vector<std::pair<DomainId, Cycle>>>();
+        auto eqs = std::make_shared<std::vector<EventQueue>>(2);
+        auto engine =
+            std::make_shared<ShardEngine>(kQuantum, workers);
+        const DomainId d0 = engine->addDomain(&(*eqs)[0]);
+        const DomainId d1 = engine->addDomain(&(*eqs)[1]);
+
+        // Each hop records (domain, cycle) and forwards to the peer at
+        // exactly the lookahead bound until the budget runs out.
+        std::function<void(DomainId, int)> hop =
+            [&, log, eqs, engine](DomainId self, int remaining) {
+                log->emplace_back(self, (*eqs)[self].now());
+                if (remaining == 0)
+                    return;
+                const DomainId peer = self == d0 ? d1 : d0;
+                engine->post(peer, (*eqs)[self].now() + kQuantum,
+                             [&hop, peer, remaining] {
+                                 hop(peer, remaining - 1);
+                             });
+            };
+        (*eqs)[0].schedule(0, [&hop, d0] { hop(d0, kHops); });
+        engine->run();
+        return std::make_pair(*log, engine->stats());
+    };
+
+    const auto [oracle_log, oracle_stats] = run(1);
+    ASSERT_EQ(oracle_log.size(), kHops + 1u);
+    EXPECT_EQ(oracle_stats.messages, static_cast<std::uint64_t>(kHops));
+    EXPECT_GT(oracle_stats.epochs, 0u);
+    for (const unsigned workers : {2u, 4u}) {
+        const auto [log, stats] = run(workers);
+        EXPECT_EQ(log, oracle_log) << workers << " workers";
+        EXPECT_EQ(stats.messages, oracle_stats.messages);
+        EXPECT_EQ(stats.epochs, oracle_stats.epochs);
+    }
+}
+
+/** An exception inside a domain slice must abort the run and rethrow
+ * on the calling thread, with every worker joined cleanly. */
+TEST(ShardEngine, DomainFailurePropagatesToCaller)
+{
+    EventQueue eq0, eq1;
+    ShardEngine engine(8, 2);
+    engine.addDomain(&eq0);
+    engine.addDomain(&eq1);
+    eq0.schedule(0, [] {});
+    eq1.schedule(5, [] { throw std::runtime_error("injected"); });
+    EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+/** Messages must respect the lookahead quantum; posting under it is a
+ * contract violation the engine refuses. */
+TEST(ShardEngineDeath, PostUnderLookaheadAsserts)
+{
+    EXPECT_DEATH(
+        {
+            EventQueue eq0;
+            EventQueue eq1;
+            ShardEngine engine(10, 1);
+            const DomainId d1 = [&] {
+                engine.addDomain(&eq0);
+                return engine.addDomain(&eq1);
+            }();
+            eq0.schedule(0, [&] { engine.post(d1, 5, [] {}); });
+            engine.run();
+        },
+        "lookahead");
+}
+
+// --- Full-system bit identity ----------------------------------------
+
+SystemConfig
+shardedConfig(bool tempo, unsigned workers)
+{
+    SystemConfig cfg = SystemConfig::skylakeScaled();
+    cfg.withTempo(tempo);
+    cfg.withShards(workers);
+    return cfg;
+}
+
+/** Single-app sharded runs: every statistic identical at 1/2/4
+ * workers, for both the baseline and the TEMPO machine. */
+TEST(ShardedSystem, SingleAppBitIdenticalAcrossWorkerCounts)
+{
+    for (const char *workload : {"mcf", "astar.small"}) {
+        for (const bool tempo : {false, true}) {
+            const RunResult oracle =
+                runWorkload(shardedConfig(tempo, 1), workload, kRefs);
+            for (const unsigned workers : {2u, 4u}) {
+                const RunResult got = runWorkload(
+                    shardedConfig(tempo, workers), workload, kRefs);
+                const std::string label = std::string(workload)
+                    + (tempo ? "/tempo/" : "/base/")
+                    + std::to_string(workers) + "w";
+                EXPECT_EQ(oracle.runtime, got.runtime) << label;
+                EXPECT_EQ(oracle.energy.total(), got.energy.total())
+                    << label;
+                expectSameReport(oracle.report, got.report, label);
+            }
+        }
+    }
+}
+
+/** Multiprogrammed sharded runs: per-app finish times and per-app
+ * statistics identical at 1/2/4 workers. */
+TEST(ShardedSystem, MixBitIdenticalAcrossWorkerCounts)
+{
+    const std::vector<std::string> mix = {"xsbench", "astar.small",
+                                          "mcf", "hmmer.small"};
+    auto run = [&](unsigned workers) {
+        SystemConfig cfg = shardedConfig(true, workers);
+        MultiSystem system(cfg, makeMix(mix, cfg.seed));
+        return system.run(kRefs);
+    };
+    const MultiResult oracle = run(1);
+    ASSERT_EQ(oracle.appFinish.size(), mix.size());
+    for (const unsigned workers : {2u, 4u}) {
+        const MultiResult got = run(workers);
+        const std::string label = std::to_string(workers) + " workers";
+        EXPECT_EQ(oracle.runtime, got.runtime) << label;
+        EXPECT_EQ(oracle.appFinish, got.appFinish) << label;
+        for (std::size_t i = 0; i < mix.size(); ++i) {
+            stats::Report a, b;
+            oracle.appStats[i].report(a);
+            got.appStats[i].report(b);
+            expectSameReport(a, b, label + " app " + std::to_string(i));
+        }
+    }
+}
+
+/** Back-to-back sharded runs of the same config reproduce exactly —
+ * the engine introduces no hidden run-to-run state. */
+TEST(ShardedSystem, RepeatRunsReproduce)
+{
+    const RunResult a =
+        runWorkload(shardedConfig(true, 4), "mcf", kRefs);
+    const RunResult b =
+        runWorkload(shardedConfig(true, 4), "mcf", kRefs);
+    EXPECT_EQ(a.runtime, b.runtime);
+    expectSameReport(a.report, b.report, "repeat");
+}
+
+// --- Sharded goldens -------------------------------------------------
+
+struct ShardedGolden {
+    const char *config;
+    const char *workload;
+    std::uint64_t runtime;
+    std::uint64_t walks;
+    std::uint64_t dramPtw;
+    std::uint64_t dramReplay;
+    double tlbMissRate;
+};
+
+// Golden values for seed 42, 6000 refs, on the sharded engine
+// (worker-count invariant; the identity tests above tie 2/4 workers to
+// these). Regenerate by running this test and pasting the actuals when
+// a model change is intentional.
+const ShardedGolden kShardedGolden[] = {
+    {"paper_baseline.ini", "mcf",
+     961102ull, 1574ull, 1580ull, 1574ull, 0.26233333333333331},
+    {"paper_baseline.ini", "astar.small",
+     469606ull, 580ull, 209ull, 580ull, 0.096666666666666665},
+    {"tempo_full.ini", "mcf",
+     880283ull, 1582ull, 1580ull, 401ull, 0.26366666666666666},
+    {"tempo_full.ini", "astar.small",
+     460986ull, 587ull, 209ull, 385ull, 0.097833333333333328},
+};
+
+TEST(ShardedGoldenStats, HeadlineCountersMatch)
+{
+    for (const ShardedGolden &golden : kShardedGolden) {
+        SCOPED_TRACE(std::string(golden.config) + " / "
+                     + golden.workload);
+        SystemConfig cfg = SystemConfig::skylakeScaled();
+        cli::applyConfigFile(
+            std::string(TEMPO_CONFIG_DIR) + "/" + golden.config, cfg);
+        cfg.withShards(1);
+        const RunResult r = runWorkload(cfg, golden.workload, kRefs);
+        EXPECT_EQ(r.runtime, golden.runtime);
+        EXPECT_EQ(r.core.walks, golden.walks);
+        EXPECT_EQ(r.dramPtw, golden.dramPtw);
+        EXPECT_EQ(r.dramReplay, golden.dramReplay);
+        EXPECT_NEAR(r.report.get("tlb.miss_rate"), golden.tlbMissRate,
+                    1e-12);
+    }
+}
+
+// --- JSON round trip -------------------------------------------------
+
+/** tempo-bench-1 documents emitted from sharded runs are byte-identical
+ * at any worker count and carry the shards metadata. */
+TEST(ShardedJson, ByteIdenticalAcrossWorkerCounts)
+{
+    auto emit = [&](unsigned workers) {
+        std::vector<ExperimentPoint> points;
+        for (const bool tempo : {false, true}) {
+            ExperimentPoint p;
+            p.workload = "mcf";
+            p.config = SystemConfig::skylakeScaled();
+            p.config.withTempo(tempo);
+            p.refs = kRefs;
+            points.push_back(std::move(p));
+        }
+        ExperimentOptions opts;
+        opts.shards = workers;
+        const std::vector<RunResult> results =
+            runExperiments(points, opts);
+        std::vector<stats::BenchPoint> bench;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            bench.push_back(toBenchPoint(
+                points[i].workload,
+                {{"mc.tempo", i == 0 ? "false" : "true"},
+                 {"shards", "2"}},
+                results[i]));
+        }
+        const std::string path =
+            "shard_json_" + std::to_string(workers) + ".json";
+        stats::writeBenchJson(path, "shard_test", kRefs,
+                              SystemConfig::skylakeScaled().seed,
+                              bench);
+        std::ifstream in(path);
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::remove(path.c_str());
+        return text.str();
+    };
+    const std::string oracle = emit(1);
+    EXPECT_NE(oracle.find("\"shards\": 2"), std::string::npos);
+    EXPECT_EQ(oracle, emit(2));
+    EXPECT_EQ(oracle, emit(4));
+}
+
+// --- Profiler aggregation --------------------------------------------
+
+TEST(ProfilerTotals, AddMergesPerWorkerWindows)
+{
+    prof::Totals a, b;
+    a.ns[0] = 10;
+    a.calls[0] = 2;
+    a.ns[prof::kNumComponents - 1] = 7;
+    b.ns[0] = 5;
+    b.calls[0] = 1;
+    b.calls[prof::kNumComponents - 1] = 3;
+    a.add(b);
+    EXPECT_EQ(a.ns[0], 15u);
+    EXPECT_EQ(a.calls[0], 3u);
+    EXPECT_EQ(a.ns[prof::kNumComponents - 1], 7u);
+    EXPECT_EQ(a.calls[prof::kNumComponents - 1], 3u);
+}
+
+} // namespace
+} // namespace tempo
