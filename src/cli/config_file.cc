@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "prefetch/registry.hh"
+
 namespace tempo::cli {
 namespace {
 
@@ -174,6 +176,56 @@ applyKey(int line_no, SystemConfig &cfg, const std::string &section,
         else if (key == "table_entries")
             cfg.imp.prefetchTableEntries = u();
         else bad(line_no, "unknown [imp] key '" + key + "'");
+    } else if (section == "prefetch") {
+        if (key == "engines") {
+            try {
+                cfg.prefetch.engines = parsePrefetcherList(value);
+            } catch (const std::invalid_argument &e) {
+                bad(line_no, e.what());
+            }
+            if (cfg.prefetch.engines.empty()) {
+                // "engines = none": explicitly no core prefetchers,
+                // overriding any imp/stride enable flags.
+                cfg.imp.enabled = false;
+                cfg.stride.enabled = false;
+            }
+        } else {
+            bad(line_no, "unknown [prefetch] key '" + key + "'");
+        }
+    } else if (section == "stride") {
+        if (key == "enabled") cfg.stride.enabled = b();
+        else if (key == "table_entries") cfg.stride.tableEntries = u();
+        else if (key == "confidence_threshold")
+            cfg.stride.confidenceThreshold = u();
+        else if (key == "degree") cfg.stride.degree = u();
+        else if (key == "distance") cfg.stride.distance = u();
+        else bad(line_no, "unknown [stride] key '" + key + "'");
+    } else if (section == "tskid") {
+        if (key == "table_entries") cfg.tskid.tableEntries = u();
+        else if (key == "confidence_threshold")
+            cfg.tskid.confidenceThreshold = u();
+        else if (key == "degree") cfg.tskid.degree = u();
+        else if (key == "distance") cfg.tskid.distance = u();
+        else if (key == "lead_cycles") cfg.tskid.leadCycles = u();
+        else if (key == "max_pending") cfg.tskid.maxPending = u();
+        else bad(line_no, "unknown [tskid] key '" + key + "'");
+    } else if (section == "misb") {
+        if (key == "pair_entries") cfg.misb.pairEntries = u();
+        else if (key == "metadata_cache_entries")
+            cfg.misb.metadataCacheEntries = u();
+        else if (key == "degree") cfg.misb.degree = u();
+        else if (key == "train_threshold") cfg.misb.trainThreshold = u();
+        else if (key == "max_metadata_inflight")
+            cfg.misb.maxMetadataInflight = u();
+        else bad(line_no, "unknown [misb] key '" + key + "'");
+    } else if (section == "temporal") {
+        if (key == "table_entries") cfg.temporal.tableEntries = u();
+        else if (key == "confidence_threshold")
+            cfg.temporal.confidenceThreshold = u();
+        else if (key == "degree") cfg.temporal.degree = u();
+        else if (key == "train_threshold")
+            cfg.temporal.trainThreshold = u();
+        else bad(line_no, "unknown [temporal] key '" + key + "'");
     } else if (section == "core") {
         if (key == "mlp_window") {
             cfg.mlpWindow = u();

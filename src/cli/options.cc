@@ -2,6 +2,7 @@
 
 #include "cli/config_file.hh"
 #include "obs/obs.hh"
+#include "prefetch/registry.hh"
 
 #include <stdexcept>
 
@@ -59,6 +60,11 @@ usage()
         "  --tempo             enable TEMPO\n"
         "  --compare           run baseline AND TEMPO, print the delta\n"
         "  --imp               enable the IMP indirect prefetcher\n"
+        "  --prefetcher LIST   comma-separated core prefetch engines\n"
+        "                      (stride,imp,tskid,misb,temporal; \"none\"\n"
+        "                      disables all); selecting engines this way\n"
+        "                      also reports the per-engine\n"
+        "                      prefetch.<name>.* taxonomy\n"
         "  --sched S           frfcfs | bliss (default frfcfs)\n"
         "  --row-policy P      open | closed | adaptive (default "
         "adaptive)\n"
@@ -132,6 +138,12 @@ parse(const std::vector<std::string> &args)
             options.compare = true;
         } else if (arg == "--imp") {
             options.imp = true;
+        } else if (arg == "--prefetcher") {
+            options.prefetcher = next("--prefetcher");
+        } else if (arg.rfind("--prefetcher=", 0) == 0) {
+            options.prefetcher = arg.substr(13);
+            if (options.prefetcher.empty())
+                bad("--prefetcher needs a value");
         } else if (arg == "--sched") {
             options.sched = next("--sched");
             if (options.sched != "frfcfs" && options.sched != "bliss")
@@ -226,6 +238,8 @@ parse(const std::vector<std::string> &args)
     // (throws std::invalid_argument, the same contract as bad()).
     if (!options.traceFilter.empty())
         obs::parseCategories(options.traceFilter);
+    if (!options.prefetcher.empty())
+        parsePrefetcherList(options.prefetcher);
     return options;
 }
 
@@ -261,6 +275,16 @@ toConfig(const Options &options)
 
     cfg.translator.useReferenceTranslator = options.referenceTranslator;
     cfg.withShards(options.shards);
+
+    if (!options.prefetcher.empty()) {
+        cfg.withPrefetchers(options.prefetcher);
+        if (cfg.prefetch.engines.empty()) {
+            // "--prefetcher none" means explicitly no engines — it
+            // overrides --imp rather than falling back to the flags.
+            cfg.imp.enabled = false;
+            cfg.stride.enabled = false;
+        }
+    }
 
     // Config files layer on top of (and can override) the flags.
     if (!options.configPath.empty())

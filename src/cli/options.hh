@@ -22,6 +22,9 @@ struct Options {
     /** Run baseline and TEMPO back-to-back and print the comparison. */
     bool compare = false;
     bool imp = false;
+    /** Explicit registry engine list ("stride,tskid"; "none" = no
+     * engines; "" = legacy --imp / [stride] flag resolution). */
+    std::string prefetcher;
     std::string sched = "frfcfs";      //!< frfcfs | bliss
     std::string rowPolicy = "adaptive"; //!< open | closed | adaptive
     std::string pagePolicy = "thp";    //!< 4k | thp | hugetlbfs2m |

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "prefetch/registry.hh"
+
 namespace tempo {
 
 namespace {
@@ -149,6 +151,28 @@ SystemConfig::digest() const
     h.u64(stride.degree);
     h.u64(stride.distance);
 
+    h.u64(prefetch.engines.size());
+    for (const auto &name : prefetch.engines)
+        h.bytes(name.data(), name.size());
+
+    h.u64(tskid.tableEntries);
+    h.u64(tskid.confidenceThreshold);
+    h.u64(tskid.degree);
+    h.u64(tskid.distance);
+    h.u64(tskid.leadCycles);
+    h.u64(tskid.maxPending);
+
+    h.u64(misb.pairEntries);
+    h.u64(misb.metadataCacheEntries);
+    h.u64(misb.degree);
+    h.u64(misb.trainThreshold);
+    h.u64(misb.maxMetadataInflight);
+
+    h.u64(temporal.tableEntries);
+    h.u64(temporal.confidenceThreshold);
+    h.u64(temporal.degree);
+    h.u64(temporal.trainThreshold);
+
     h.f64(energy.corePowerPerCycle);
     h.f64(energy.mcEnergyPerRequest);
     h.f64(energy.tempoMcAreaOverhead);
@@ -236,6 +260,13 @@ SystemConfig &
 SystemConfig::withImp(bool on)
 {
     imp.enabled = on;
+    return *this;
+}
+
+SystemConfig &
+SystemConfig::withPrefetchers(const std::string &csv)
+{
+    prefetch.engines = parsePrefetcherList(csv);
     return *this;
 }
 

@@ -16,7 +16,11 @@
 #include "dram/config.hh"
 #include "mc/memory_controller.hh"
 #include "prefetch/imp.hh"
+#include "prefetch/misb.hh"
+#include "prefetch/prefetcher.hh"
 #include "prefetch/stride.hh"
+#include "prefetch/temporal.hh"
+#include "prefetch/tskid.hh"
 #include "vm/address_space.hh"
 #include "vm/mmu_cache.hh"
 #include "vm/os_memory.hh"
@@ -51,6 +55,15 @@ struct SystemConfig {
     TranslatorConfig translator;
     ImpConfig imp;
     StrideConfig stride;
+    /** Registry engine selection (prefetch/registry.hh). Empty list =
+     * legacy resolution from imp.enabled / stride.enabled with runs
+     * byte-identical to the pre-registry simulator; a non-empty list
+     * builds the named engines in order and switches on the per-engine
+     * useful/late/useless/dropped taxonomy keys. */
+    PrefetchConfig prefetch;
+    TskidConfig tskid;
+    MisbConfig misb;
+    TemporalConfig temporal;
     EnergyConfig energy;
 
     /** Outstanding memory references the core overlaps (ROB-window
@@ -108,6 +121,8 @@ struct SystemConfig {
     SystemConfig &withSched(SchedKind kind);
     SystemConfig &withPagePolicy(PagePolicy policy, double frag = 0.0);
     SystemConfig &withImp(bool on);
+    /** Select registry engines by name ("" or "none" = legacy flags). */
+    SystemConfig &withPrefetchers(const std::string &csv);
     SystemConfig &withSubRows(SubRowAlloc alloc, unsigned dedicated);
     SystemConfig &withSeed(std::uint64_t seed);
     SystemConfig &withShards(unsigned shards);

@@ -59,6 +59,26 @@ Machine::portWarmupNotify(Cycle send_at)
 }
 
 void
+Machine::portUncachedRead(DomainId src, Cycle send_at, MemRequest req,
+                          PortReplyFn reply)
+{
+    shardEngine_->post(
+        sharedDomain_, send_at + portLatency(),
+        [this, src, req = std::move(req),
+         reply = std::move(reply)]() mutable {
+            req.onComplete = [this, src, reply = std::move(reply)](
+                                 const MemResult &res) mutable {
+                PortReply r;
+                r.point = PortReply::Point::Dram;
+                r.res = res;
+                r.res.complete = res.complete + portLatency();
+                sendReply(src, std::move(reply), r);
+            };
+            mc.submit(std::move(req));
+        });
+}
+
+void
 Machine::sendReply(DomainId dst, PortReplyFn reply, const PortReply &r)
 {
     shardEngine_->post(dst, r.res.complete,

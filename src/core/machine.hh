@@ -139,6 +139,15 @@ class Machine
     void portRequest(DomainId src, Cycle send_at, MemRequest req,
                      PortReplyFn reply);
 
+    /**
+     * Core -> DRAM read that bypasses the LLC entirely (prefetcher
+     * metadata traffic: MISB-style off-chip metadata is never cached
+     * in the data hierarchy). Same port timing as portRequest; the
+     * reply point is always Dram.
+     */
+    void portUncachedRead(DomainId src, Cycle send_at, MemRequest req,
+                          PortReplyFn reply);
+
     /** Fire-and-forget dirty-victim writeback from a core's private
      * levels, delivered to the shared domain one port hop after
      * @p send_at. */

@@ -5,6 +5,7 @@
 #include "common/log.hh"
 #include "common/profiler.hh"
 #include "obs/obs.hh"
+#include "prefetch/registry.hh"
 
 namespace tempo {
 
@@ -51,6 +52,22 @@ CoreStats::report(stats::Report &out) const
     out.add("cycles_other_dram", cyclesOtherDram);
     out.add("cycles_total", cyclesTotal);
     out.add("last_finish", lastFinish);
+
+    // Per-engine taxonomy, emitted only for explicit engine lists so
+    // legacy-config output stays byte-identical. useless is derived, so
+    // useful + late + useless == issued by construction.
+    if (prefetchEngineKeys) {
+        for (const auto &e : prefetchEngines) {
+            const std::string prefix = "prefetch." + e.name + ".";
+            out.add(prefix + "issued", e.issued);
+            out.add(prefix + "useful", e.useful);
+            out.add(prefix + "late", e.late);
+            out.add(prefix + "useless", e.useless());
+            out.add(prefix + "dropped", e.dropped);
+            out.add(prefix + "faults", e.faults);
+            out.add(prefix + "metadata_fetches", e.metadataFetches);
+        }
+    }
 }
 
 /** Per-reference in-flight state. */
@@ -66,6 +83,11 @@ struct SimCore::RefContext {
 };
 
 namespace {
+
+/** Direct-mapped resident-prefetch tracking table size (per core).
+ * Far larger than the private caches' line capacity, so conflict
+ * aliasing only costs tracking accuracy under extreme pressure. */
+constexpr std::size_t kPfResidentEntries = 4096;
 
 /** Sharded mode gives each app a disjoint slice of physical memory so
  * its allocation order cannot depend on cross-app event interleaving.
@@ -101,8 +123,6 @@ SimCore::SimCore(Machine &machine, AppId app,
           return vm_cfg;
       }(), machine.config.translator),
       walker(addressSpace.translator(), mmu),
-      imp(machine.config.imp),
-      stride(machine.config.stride),
       machine_(machine),
       cfg_(machine.config),
       app_(app),
@@ -114,6 +134,29 @@ SimCore::SimCore(Machine &machine, AppId app,
     window_ = std::max(1u, window_);
     if (machine_.sharded())
         domain_ = machine_.registerAppDomain(ownEq_.get());
+
+    for (auto &engine : buildPrefetchers(cfg_)) {
+        EngineSlot slot;
+        slot.isImp = engine->name() == "imp";
+        slot.isStride = engine->name() == "stride";
+        slot.engine = std::move(engine);
+        engines_.push_back(std::move(slot));
+    }
+    stats_.prefetchEngineKeys = !cfg_.prefetch.engines.empty();
+    for (const auto &slot : engines_)
+        stats_.prefetchEngines.push_back({slot.engine->name()});
+    if (!engines_.empty())
+        pfResident_.resize(kPfResidentEntries);
+}
+
+std::vector<const Prefetcher *>
+SimCore::prefetchEngines() const
+{
+    std::vector<const Prefetcher *> out;
+    out.reserve(engines_.size());
+    for (const auto &slot : engines_)
+        out.push_back(slot.engine.get());
+    return out;
 }
 
 void
@@ -185,8 +228,7 @@ SimCore::beginRef()
         fault_penalty = cfg_.pageFaultLatency;
     }
 
-    maybeImpPrefetch(ctx->ref);
-    maybeStridePrefetch(ctx->ref);
+    runPrefetchers(ctx->ref);
 
     const TlbResult tlb_result = tlb.lookup(ctx->ref.vaddr);
     const Cycle after_tlb =
@@ -409,6 +451,7 @@ SimCore::dataAccess(const RefPtr &ctx)
     const Cycle after_caches = eq().now() + outcome.latency;
 
     if (outcome.level != CacheLevel::Memory) {
+        classifyDemandHit(lineAddr(ctx->paddr));
         if (ctx->tlbMiss) {
             const bool llc = outcome.level == CacheLevel::LLC;
             if (ctx->walkLeafDram) {
@@ -453,6 +496,7 @@ SimCore::memoryAccess(const RefPtr &ctx)
 
     if (ctx->tlbMiss && machine_.llc.cache().contains(line)) {
         // The prefetch filled the LLC while our lookup was in flight.
+        classifyDemandHit(line);
         machine_.llc.cache().lookup(line); // LRU touch
         caches.fillPrivate(line);
         if (ctx->walkLeafDram) {
@@ -519,9 +563,11 @@ SimCore::memoryAccess(const RefPtr &ctx)
             }
             finishRef(ctx);
         })) {
+        classifyDemandMerge(line);
         return;
     }
     mshrOpen(line);
+    classifyDemandMiss(line);
 
     MemRequest req;
     req.paddr = line;
@@ -601,6 +647,7 @@ SimCore::shardedMemoryAccess(const RefPtr &ctx)
             }
             finishRef(ctx);
         })) {
+        classifyDemandMerge(line);
         return;
     }
     mshrOpen(line);
@@ -619,6 +666,10 @@ SimCore::shardedMemoryAccess(const RefPtr &ctx)
             mshrClose(lineAddr(ctx->paddr), pr.res.complete);
             const double dram_cycles =
                 static_cast<double>(pr.res.complete - submit_at);
+            if (pr.point == PortReply::Point::Llc)
+                classifyDemandHit(lineAddr(ctx->paddr));
+            else
+                classifyDemandMiss(lineAddr(ctx->paddr));
             switch (pr.point) {
               case PortReply::Point::Llc:
                 // The line was resident (a TEMPO prefetch landed, or
@@ -750,46 +801,157 @@ void
 SimCore::resetStats()
 {
     stats_ = CoreStats{};
+    stats_.prefetchEngineKeys = !cfg_.prefetch.engines.empty();
+    for (const auto &slot : engines_)
+        stats_.prefetchEngines.push_back({slot.engine->name()});
+    // Usefulness tracking restarts with the counters: prefetches issued
+    // before the warmup boundary never classify into the measured
+    // window (mirrors the obs session's epoch discipline).
+    pendingPf_.clear();
+    for (auto &slot : pfResident_)
+        slot.tag = kInvalidAddr;
     tlb.resetStats();
     mmu.resetStats();
     caches.resetStats();
 }
 
 void
-SimCore::maybeImpPrefetch(const MemRef &ref)
+SimCore::runPrefetchers(const MemRef &ref)
 {
-    const Addr target =
-        imp.observe(ref.stream, ref.indirect, ref.indirectFuture);
-    if (target == kInvalidAddr)
-        return;
-    if (impInflight_ >= cfg_.impMaxInflight) {
-        ++stats_.impDroppedInflight;
-        return;
+    const Cycle now = eq().now();
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        actionScratch_.clear();
+        engines_[i].engine->observe(ref, now, actionScratch_);
+        engines_[i].engine->drain(now, actionScratch_);
+        if (!actionScratch_.empty())
+            dispatchActions(i);
     }
-    ++impInflight_;
-    ++stats_.impIssued;
-    prefetchChain(target);
 }
 
 void
-SimCore::maybeStridePrefetch(const MemRef &ref)
+SimCore::dispatchActions(std::size_t idx)
 {
-    if (!cfg_.stride.enabled)
-        return;
-    stride.observe(ref.stream, ref.vaddr, strideTargets_);
-    for (const Addr target : strideTargets_) {
+    const EngineSlot &slot = engines_[idx];
+    PrefetchEngineStats &es = stats_.prefetchEngines[idx];
+    for (std::size_t a = 0; a < actionScratch_.size(); ++a) {
+        const PrefetchAction &act = actionScratch_[a];
+        if (act.kind == PrefetchAction::Kind::Metadata) {
+            metadataFetch(idx, act.addr);
+            continue;
+        }
         if (impInflight_ >= cfg_.impMaxInflight) {
+            // Legacy semantics: one impDroppedInflight per capped
+            // batch; the per-engine count covers every lost target.
             ++stats_.impDroppedInflight;
+            for (std::size_t r = a; r < actionScratch_.size(); ++r) {
+                if (actionScratch_[r].kind
+                    == PrefetchAction::Kind::Data)
+                    ++es.dropped;
+            }
+            if (auto *o = obs::session())
+                o->corePrefetchDrop(eq().now(), lineAddr(act.addr));
             break;
         }
         ++impInflight_;
-        ++stats_.strideIssued;
-        prefetchChain(target);
+        if (slot.isImp)
+            ++stats_.impIssued;
+        if (slot.isStride)
+            ++stats_.strideIssued;
+        ++es.issued;
+        if (auto *o = obs::session())
+            o->corePrefetchIssue(eq().now(), lineAddr(act.addr));
+        prefetchChain(act.addr, idx);
     }
 }
 
 void
-SimCore::prefetchChain(Addr target)
+SimCore::metadataFetch(std::size_t idx, Addr addr)
+{
+    PrefetchEngineStats &es = stats_.prefetchEngines[idx];
+    if (metadataInflight_ >= cfg_.misb.maxMetadataInflight) {
+        ++es.dropped;
+        return;
+    }
+    ++metadataInflight_;
+    ++es.metadataFetches;
+
+    // Metadata lives in a reserved physical region the data hierarchy
+    // never caches: hash the trigger line to a stable DRAM address and
+    // fetch it uncached (MISB's off-chip metadata traffic; it rides
+    // the ImpPrefetch request class so it bills as prefetch traffic).
+    const Addr paddr =
+        lineAddr((addr * 0x9E3779B97F4A7C15ull) % cfg_.os.physBytes);
+    MemRequest req;
+    req.paddr = paddr;
+    req.isWrite = false;
+    req.kind = ReqKind::ImpPrefetch;
+    req.app = app_;
+
+    if (machine_.sharded()) {
+        machine_.portUncachedRead(domain_, eq().now(), std::move(req),
+                                  [this](const PortReply &) {
+                                      --metadataInflight_;
+                                  });
+        return;
+    }
+    req.onComplete = [this](const MemResult &) { --metadataInflight_; };
+    machine_.eq.schedule(machine_.eq.now(),
+                         [this, req = std::move(req)]() mutable {
+                             machine_.mc.submit(std::move(req));
+                         });
+}
+
+void
+SimCore::notePrefetchFill(Addr line)
+{
+    const auto it = pendingPf_.find(line);
+    if (it == pendingPf_.end())
+        return; // a demand merged with the fill: already counted late
+    ResidentPf &slot =
+        pfResident_[(line / kLineBytes) % pfResident_.size()];
+    slot.tag = line;
+    slot.engine = it->second;
+    pendingPf_.erase(it);
+}
+
+void
+SimCore::classifyDemandHit(Addr line)
+{
+    if (pfResident_.empty())
+        return;
+    ResidentPf &slot =
+        pfResident_[(line / kLineBytes) % pfResident_.size()];
+    if (slot.tag != line)
+        return;
+    ++stats_.prefetchEngines[slot.engine].useful;
+    slot.tag = kInvalidAddr; // count first use only
+}
+
+void
+SimCore::classifyDemandMerge(Addr line)
+{
+    if (pendingPf_.empty())
+        return;
+    const auto it = pendingPf_.find(line);
+    if (it == pendingPf_.end())
+        return;
+    ++stats_.prefetchEngines[it->second].late;
+    pendingPf_.erase(it); // the fill must not re-count it as resident
+}
+
+void
+SimCore::classifyDemandMiss(Addr line)
+{
+    if (pfResident_.empty())
+        return;
+    ResidentPf &slot =
+        pfResident_[(line / kLineBytes) % pfResident_.size()];
+    if (slot.tag == line)
+        slot.tag = kInvalidAddr; // evicted since the fill: stale
+}
+
+void
+SimCore::prefetchChain(Addr target, std::size_t idx)
 {
     // Core prefetches translate through the same TLB and walker as
     // demand references — this is precisely why aggressive prefetching
@@ -803,9 +965,9 @@ SimCore::prefetchChain(Addr target)
     if (tlb_result.hit) {
         const Translation xlate = addressSpace.translate(target);
         TEMPO_ASSERT(xlate.valid, "TLB hit for unmapped page");
-        eq().schedule(after_tlb, [this, paddr =
+        eq().schedule(after_tlb, [this, idx, paddr =
                                       xlate.physAddr(target)] {
-            impData(paddr);
+            impData(paddr, idx);
         });
         return;
     }
@@ -818,16 +980,17 @@ SimCore::prefetchChain(Addr target)
                          plan->fetches.size(), plan->skipped);
     }
     eq().schedule(
-        after_tlb + cfg_.mmu.latency, [this, plan, target] {
+        after_tlb + cfg_.mmu.latency, [this, plan, target, idx] {
             walkAsync(target, plan, 0, true,
-                      [this, plan, target](Cycle when, double,
-                                           bool leaf_dram) {
+                      [this, plan, target, idx](Cycle when, double,
+                                                bool leaf_dram) {
                           if (auto *o = obs::session()) {
                               o->walkEnd(when, plan->obsWalkId,
                                          leaf_dram);
                           }
                           if (!plan->xlate.valid) {
                               ++stats_.impFaults;
+                              ++stats_.prefetchEngines[idx].faults;
                               --impInflight_;
                               return;
                           }
@@ -835,8 +998,8 @@ SimCore::prefetchChain(Addr target)
                           tlb.fill(target, plan->xlate.size);
                           eq().schedule(
                               when + cfg_.tlbFillLatency,
-                              [this, paddr = plan->xlate.physAddr(
-                                   target)] { impData(paddr); });
+                              [this, idx, paddr = plan->xlate.physAddr(
+                                   target)] { impData(paddr, idx); });
                       });
         });
 }
@@ -878,16 +1041,19 @@ SimCore::maybeTlbPrefetch(Addr vaddr, PageSize size)
 }
 
 void
-SimCore::impData(Addr paddr)
+SimCore::impData(Addr paddr, std::size_t idx)
 {
     const CacheOutcome outcome = probeCaches(paddr, false);
     if (outcome.level != CacheLevel::Memory) {
+        // Already resident: the chain was redundant (it stays in the
+        // issued-but-never-classified bucket, i.e. useless).
         --impInflight_;
         return;
     }
     if (mshrWait(lineAddr(paddr), [this](Cycle) { --impInflight_; }))
         return;
     mshrOpen(lineAddr(paddr));
+    pendingPf_.try_emplace(lineAddr(paddr), idx);
 
     MemRequest req;
     req.paddr = lineAddr(paddr);
@@ -901,6 +1067,7 @@ SimCore::impData(Addr paddr)
             [this, paddr](const PortReply &pr) {
                 fillPrivateLevels(paddr);
                 mshrClose(lineAddr(paddr), pr.res.complete);
+                notePrefetchFill(lineAddr(paddr));
                 --impInflight_;
             });
         return;
@@ -912,6 +1079,7 @@ SimCore::impData(Addr paddr)
         if (writeback != kInvalidAddr)
             machine_.submitWriteback(writeback, app_);
         mshrClose(lineAddr(paddr), res.complete);
+        notePrefetchFill(lineAddr(paddr));
         --impInflight_;
     };
     machine_.eq.schedule(

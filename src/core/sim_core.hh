@@ -22,13 +22,13 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cache/hierarchy.hh"
 #include "core/machine.hh"
-#include "prefetch/imp.hh"
-#include "prefetch/stride.hh"
+#include "prefetch/prefetcher.hh"
 #include "stats/stats.hh"
 #include "vm/address_space.hh"
 #include "vm/mmu_cache.hh"
@@ -37,6 +37,36 @@
 #include "workloads/workload.hh"
 
 namespace tempo {
+
+/**
+ * Lifecycle taxonomy for one registry prefetch engine. Every issued
+ * prefetch ends up in exactly one bucket:
+ *
+ *   useful  - a demand reference later hit the prefetched line while it
+ *             was still resident;
+ *   late    - a demand reference arrived while the prefetch fill was
+ *             still in flight and merged with it (partial overlap);
+ *   useless - issued but never referenced (computed at report time as
+ *             issued - useful - late, so the three always sum back).
+ *
+ * `dropped` counts targets discarded before issue (in-flight cap or
+ * metadata-port cap) and is disjoint from `issued`.
+ */
+struct PrefetchEngineStats {
+    std::string name;
+    std::uint64_t issued = 0;
+    std::uint64_t useful = 0;
+    std::uint64_t late = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t faults = 0; //!< chains dropped at unmapped pages
+    std::uint64_t metadataFetches = 0; //!< off-chip metadata reads
+
+    std::uint64_t
+    useless() const
+    {
+        return issued - useful - late;
+    }
+};
 
 /** Everything a run measures, per core. */
 struct CoreStats {
@@ -78,6 +108,13 @@ struct CoreStats {
     std::uint64_t impDroppedInflight = 0;
     std::uint64_t impFaults = 0; //!< prefetch walks that hit unmapped PTEs
     std::uint64_t tlbPrefetches = 0; //!< next-page TLB prefetch chains
+
+    // Per-engine taxonomy, one slot per registry engine in dispatch
+    // order. Tracked unconditionally (it is timing-neutral); the
+    // prefetch.<name>.* report keys are emitted only when the engine
+    // list was explicit, so legacy-config output stays byte-identical.
+    std::vector<PrefetchEngineStats> prefetchEngines;
+    bool prefetchEngineKeys = false;
 
     // Runtime attribution (cycles summed over references).
     double cyclesPtwDram = 0;
@@ -135,8 +172,10 @@ class SimCore
     CacheHierarchy caches;
     AddressSpace addressSpace;
     Walker walker;
-    ImpPrefetcher imp;
-    StridePrefetcher stride;
+
+    /** Registry prefetch engines driving this core, in dispatch order
+     * (prefetch/registry.hh resolves them from the config). */
+    std::vector<const Prefetcher *> prefetchEngines() const;
 
     /** Invoked once when the last reference completes. */
     std::function<void()> onDone;
@@ -185,13 +224,36 @@ class SimCore
     void fillPrivateLevels(Addr addr, bool is_write = false);
     /** Forward collected dirty private victims as port writebacks. */
     void flushVictims();
-    void maybeImpPrefetch(const MemRef &ref);
-    void maybeStridePrefetch(const MemRef &ref);
-    /** Launch a core-prefetcher chain (IMP or stride): translate the
+    /** Run every engine's observe+drain on @p ref and dispatch the
+     * resulting actions (the registry replacement for the hard-wired
+     * maybeImpPrefetch/maybeStridePrefetch pair). */
+    void runPrefetchers(const MemRef &ref);
+    /** Dispatch engine @p idx's actions from actionScratch_: data
+     * prefetches launch chains under the in-flight cap (legacy
+     * semantics: one impDroppedInflight per capped batch), metadata
+     * actions become uncached DRAM reads. */
+    void dispatchActions(std::size_t idx);
+    /** Model one off-chip metadata read for engine @p idx (MISB):
+     * an uncached DRAM access that never touches the caches. */
+    void metadataFetch(std::size_t idx, Addr addr);
+    /** Launch a core-prefetcher chain for engine @p idx: translate the
      * target (possibly walking, without demand paging) and fetch its
      * line into the caches. */
-    void prefetchChain(Addr target);
-    void impData(Addr paddr);
+    void prefetchChain(Addr target, std::size_t idx);
+    void impData(Addr paddr, std::size_t idx);
+
+    // Prefetch-usefulness classification. All four are pure counter
+    // bookkeeping — no events, no cache mutations — so legacy-config
+    // timing is untouched.
+    /** A prefetch fill completed: remember the line as resident. */
+    void notePrefetchFill(Addr line);
+    /** A demand reference hit @p line in the caches. */
+    void classifyDemandHit(Addr line);
+    /** A demand reference merged with an in-flight fill of @p line. */
+    void classifyDemandMerge(Addr line);
+    /** A demand reference missed all caches for @p line: any resident
+     * record for it is stale (the line was evicted since). */
+    void classifyDemandMiss(Addr line);
     /** Extension: prefetch the next page's translation into the TLB. */
     void maybeTlbPrefetch(Addr vaddr, PageSize size);
 
@@ -222,11 +284,30 @@ class SimCore
     unsigned window_ = 8;
     Cycle nextIssueAt_ = 0;
     unsigned impInflight_ = 0;
+    unsigned metadataInflight_ = 0;
 
     /** Outstanding line fills -> waiters (miss-status holding regs). */
     std::unordered_map<Addr, std::vector<MshrWaiter>> mshr_;
 
-    std::vector<Addr> strideTargets_; //!< scratch for stride.observe()
+    /** One slot per registry engine, in dispatch order. */
+    struct EngineSlot {
+        std::unique_ptr<Prefetcher> engine;
+        bool isImp = false;    //!< feeds the legacy impIssued counter
+        bool isStride = false; //!< feeds the legacy strideIssued counter
+    };
+    std::vector<EngineSlot> engines_;
+
+    /** Prefetch fills in flight: line -> issuing engine slot. */
+    std::unordered_map<Addr, std::size_t> pendingPf_;
+    /** Direct-mapped record of resident prefetched lines (usefulness
+     * tracking only; the caches remain the source of truth). */
+    struct ResidentPf {
+        Addr tag = kInvalidAddr;
+        std::size_t engine = 0;
+    };
+    std::vector<ResidentPf> pfResident_;
+
+    std::vector<PrefetchAction> actionScratch_; //!< observe/drain out
     std::vector<Addr> victimScratch_; //!< sharded dirty-victim scratch
     DomainId domain_ = 0;             //!< this core's shard domain id
 

@@ -300,6 +300,18 @@ Session::prefetchDrop(Cycle now, std::uint64_t walk_id, Addr line)
 }
 
 void
+Session::corePrefetchIssue(Cycle now, Addr line)
+{
+    record(kPrefetch, EventType::PrefetchIssue, now, 0, line, 1, 0);
+}
+
+void
+Session::corePrefetchDrop(Cycle now, Addr line)
+{
+    record(kPrefetch, EventType::PrefetchDrop, now, 0, line, 1, 0);
+}
+
+void
 Session::prefetchFault(Cycle now, std::uint64_t walk_id)
 {
     ++counters_.prefetchFaults;

@@ -238,6 +238,14 @@ class Session
                           std::uint8_t row_event);
     void prefetchFill(Cycle when, std::uint64_t walk_id, Addr line);
 
+    // --- Core prefetch engines (prefetch/registry.hh) ---
+    // Trace-only: the events land in the ring (b = 1 marks them as
+    // core-engine, distinguishing them from the TEMPO engine's b = 0)
+    // but touch no audit counters, so obs.prefetch_* keeps summing to
+    // mc.tempo.prefetches_issued exactly as before.
+    void corePrefetchIssue(Cycle now, Addr line);
+    void corePrefetchDrop(Cycle now, Addr line);
+
     // --- DRAM / scheduler ---
     void rowOpen(Cycle when, unsigned bank, Addr row);
     void rowClose(Cycle when, unsigned bank, Addr row);

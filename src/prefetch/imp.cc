@@ -7,6 +7,13 @@ ImpPrefetcher::ImpPrefetcher(const ImpConfig &cfg)
 {
 }
 
+const std::string &
+ImpPrefetcher::name() const
+{
+    static const std::string name = "imp";
+    return name;
+}
+
 ImpPrefetcher::Entry *
 ImpPrefetcher::findOrAllocate(std::uint32_t stream)
 {
@@ -37,7 +44,7 @@ ImpPrefetcher::observe(std::uint32_t stream, bool indirect,
     if (entry->observations < cfg_.trainThreshold) {
         // Still training in the indirect pattern detector.
         if (++entry->observations == cfg_.trainThreshold)
-            ++trained_;
+            ++trainEvents_;
         return kInvalidAddr;
     }
     if (future_target == kInvalidAddr)
@@ -57,10 +64,33 @@ ImpPrefetcher::observe(std::uint32_t stream, bool indirect,
 }
 
 void
+ImpPrefetcher::observe(const MemRef &ref, Cycle now,
+                       std::vector<PrefetchAction> &out)
+{
+    (void)now;
+    const Addr target =
+        observe(ref.stream, ref.indirect, ref.indirectFuture);
+    if (target != kInvalidAddr)
+        out.push_back(PrefetchAction::data(target));
+}
+
+std::uint64_t
+ImpPrefetcher::trainedStreams() const
+{
+    std::uint64_t count = 0;
+    for (const auto &entry : table_) {
+        if (entry.valid && entry.observations >= cfg_.trainThreshold)
+            ++count;
+    }
+    return count;
+}
+
+void
 ImpPrefetcher::report(stats::Report &out) const
 {
     out.add("issued", issued_);
-    out.add("trained_streams", trained_);
+    out.add("trained_streams", trainedStreams());
+    out.add("train_events", trainEvents_);
     out.add("mispredicted", mispredicted_);
 }
 

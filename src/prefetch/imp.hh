@@ -22,10 +22,12 @@
 #define TEMPO_PREFETCH_IMP_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "prefetch/prefetcher.hh"
 #include "stats/stats.hh"
 
 namespace tempo {
@@ -48,7 +50,7 @@ struct ImpConfig {
     std::uint64_t seed = 1234;
 };
 
-class ImpPrefetcher
+class ImpPrefetcher : public Prefetcher
 {
   public:
     explicit ImpPrefetcher(const ImpConfig &cfg);
@@ -63,11 +65,22 @@ class ImpPrefetcher
      */
     Addr observe(std::uint32_t stream, bool indirect, Addr future_target);
 
+    // Prefetcher interface (wraps the legacy observe above).
+    const std::string &name() const override;
+    void observe(const MemRef &ref, Cycle now,
+                 std::vector<PrefetchAction> &out) override;
+
     std::uint64_t issued() const { return issued_; }
-    std::uint64_t trainedStreams() const { return trained_; }
+    /** Streams currently resident AND trained — an evicted stream
+     * leaves this count when it loses its table entry. */
+    std::uint64_t trainedStreams() const;
+    /** Training completions, cumulatively: an evicted-then-retrained
+     * stream counts once per completion (the old "trained_streams"
+     * stat conflated the two and double-counted retrains). */
+    std::uint64_t trainEvents() const { return trainEvents_; }
     std::uint64_t mispredicted() const { return mispredicted_; }
 
-    void report(stats::Report &out) const;
+    void report(stats::Report &out) const override;
 
   private:
     struct Entry {
@@ -84,7 +97,7 @@ class ImpPrefetcher
     Rng rng_;
     std::uint64_t tick_ = 0;
     std::uint64_t issued_ = 0;
-    std::uint64_t trained_ = 0;
+    std::uint64_t trainEvents_ = 0;
     std::uint64_t mispredicted_ = 0;
 };
 

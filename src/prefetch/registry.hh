@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The prefetcher registry: maps engine names to constructors and
+ * resolves a SystemConfig's engine selection into live Prefetcher
+ * instances. Two resolution modes (see PrefetchConfig in
+ * prefetcher.hh):
+ *
+ *  - legacy: prefetch.engines empty — the imp.enabled / stride.enabled
+ *    flags select engines, imp first (matching the pre-registry
+ *    dispatch order in SimCore), and runs stay byte-identical to the
+ *    hard-wired simulator;
+ *  - explicit: prefetch.engines lists names — built in list order,
+ *    each forced enabled, per-engine taxonomy keys switched on.
+ */
+
+#ifndef TEMPO_PREFETCH_REGISTRY_HH
+#define TEMPO_PREFETCH_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tempo {
+
+struct SystemConfig;
+
+/** Every engine name the registry can build, in registration order. */
+const std::vector<std::string> &registeredPrefetcherNames();
+
+bool isRegisteredPrefetcher(const std::string &name);
+
+/**
+ * Parse a CLI-style comma-separated engine list ("stride,tskid";
+ * "none" or "" yields an empty list = legacy resolution).
+ * @throws std::invalid_argument on unknown or duplicate names.
+ */
+std::vector<std::string> parsePrefetcherList(const std::string &csv);
+
+/**
+ * Build the engines @p cfg selects, in dispatch order.
+ * @throws std::invalid_argument on unknown or duplicate names in an
+ *         explicit engine list.
+ */
+std::vector<std::unique_ptr<Prefetcher>>
+buildPrefetchers(const SystemConfig &cfg);
+
+} // namespace tempo
+
+#endif // TEMPO_PREFETCH_REGISTRY_HH

@@ -7,6 +7,13 @@ StridePrefetcher::StridePrefetcher(const StrideConfig &cfg)
 {
 }
 
+const std::string &
+StridePrefetcher::name() const
+{
+    static const std::string name = "stride";
+    return name;
+}
+
 StridePrefetcher::Entry *
 StridePrefetcher::findOrAllocate(std::uint32_t stream)
 {
@@ -39,8 +46,9 @@ StridePrefetcher::observe(std::uint32_t stream, Addr vaddr,
     const auto observed =
         static_cast<std::int64_t>(vaddr)
         - static_cast<std::int64_t>(entry->lastAddr);
-    const bool had_history = entry->lastAddr != 0;
+    const bool had_history = entry->hasHistory;
     entry->lastAddr = vaddr;
+    entry->hasHistory = true;
 
     if (!had_history)
         return;
@@ -57,17 +65,36 @@ StridePrefetcher::observe(std::uint32_t stream, Addr vaddr,
         return;
 
     // Confident: prefetch `degree` consecutive stride steps, starting
-    // `distance` strides ahead of the demand address.
+    // `distance` strides ahead of the demand address. The target is
+    // computed in unsigned arithmetic with explicit wrap checks: a
+    // positive stride must advance the address (else it wrapped past
+    // 2^64) and a negative stride must retreat it (else it underflowed
+    // below 0) — the address space has no sign, so vaddrs at or above
+    // 2^63 prefetch like any others.
     for (unsigned d = 0; d < cfg_.degree; ++d) {
-        const std::int64_t steps =
-            static_cast<std::int64_t>(cfg_.distance + d);
-        const std::int64_t target =
-            static_cast<std::int64_t>(vaddr) + entry->stride * steps;
-        if (target <= 0)
+        const std::uint64_t steps = cfg_.distance + d;
+        const Addr delta =
+            static_cast<Addr>(entry->stride) * steps;
+        const Addr target = vaddr + delta; // mod 2^64
+        const bool wrapped = entry->stride > 0 ? target < vaddr
+                                               : target > vaddr;
+        if (wrapped) {
+            ++wrapDropped_;
             break;
-        out.push_back(static_cast<Addr>(target));
+        }
+        out.push_back(target);
         ++issued_;
     }
+}
+
+void
+StridePrefetcher::observe(const MemRef &ref, Cycle now,
+                          std::vector<PrefetchAction> &out)
+{
+    (void)now;
+    observe(ref.stream, ref.vaddr, scratch_);
+    for (const Addr target : scratch_)
+        out.push_back(PrefetchAction::data(target));
 }
 
 std::uint64_t
@@ -86,6 +113,7 @@ StridePrefetcher::report(stats::Report &out) const
 {
     out.add("issued", issued_);
     out.add("confident_streams", confidentStreams());
+    out.add("wrap_dropped", wrapDropped_);
 }
 
 } // namespace tempo

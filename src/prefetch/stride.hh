@@ -12,9 +12,11 @@
 #define TEMPO_PREFETCH_STRIDE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
+#include "prefetch/prefetcher.hh"
 #include "stats/stats.hh"
 
 namespace tempo {
@@ -27,7 +29,7 @@ struct StrideConfig {
     unsigned distance = 4;            //!< strides ahead of the demand
 };
 
-class StridePrefetcher
+class StridePrefetcher : public Prefetcher
 {
   public:
     explicit StridePrefetcher(const StrideConfig &cfg);
@@ -39,14 +41,22 @@ class StridePrefetcher
     void observe(std::uint32_t stream, Addr vaddr,
                  std::vector<Addr> &out);
 
+    // Prefetcher interface (wraps the legacy observe above).
+    const std::string &name() const override;
+    void observe(const MemRef &ref, Cycle now,
+                 std::vector<PrefetchAction> &out) override;
+
     std::uint64_t issued() const { return issued_; }
     std::uint64_t confidentStreams() const;
 
-    void report(stats::Report &out) const;
+    void report(stats::Report &out) const override;
 
   private:
     struct Entry {
         bool valid = false;
+        /** A demand at vaddr 0 is real history: tracked explicitly
+         * instead of abusing lastAddr == 0 as the empty sentinel. */
+        bool hasHistory = false;
         std::uint32_t stream = 0;
         Addr lastAddr = 0;
         std::int64_t stride = 0;
@@ -60,6 +70,8 @@ class StridePrefetcher
     std::vector<Entry> table_;
     std::uint64_t tick_ = 0;
     std::uint64_t issued_ = 0;
+    std::uint64_t wrapDropped_ = 0; //!< targets outside [0, 2^64)
+    std::vector<Addr> scratch_;     //!< for the Prefetcher adapter
 };
 
 } // namespace tempo

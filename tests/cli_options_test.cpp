@@ -82,6 +82,45 @@ TEST(CliOptions, RejectsBadEnums)
                  std::invalid_argument);
 }
 
+TEST(CliOptions, PrefetcherFlagParsesAndValidates)
+{
+    EXPECT_EQ(parse({"--prefetcher", "stride,tskid"}).prefetcher,
+              "stride,tskid");
+    EXPECT_EQ(parse({"--prefetcher=misb"}).prefetcher, "misb");
+    EXPECT_EQ(parse({"--prefetcher", "none"}).prefetcher, "none");
+    // Bad lists fail at parse time, before a long run starts.
+    EXPECT_THROW((void)parse({"--prefetcher", "warp-drive"}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)parse({"--prefetcher", "stride,stride"}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)parse({"--prefetcher"}), std::invalid_argument);
+    EXPECT_THROW((void)parse({"--prefetcher="}), std::invalid_argument);
+}
+
+TEST(CliOptions, PrefetcherFlagSelectsEngines)
+{
+    const SystemConfig cfg =
+        toConfig(parse({"--prefetcher", "temporal,stride"}));
+    EXPECT_EQ(cfg.prefetch.engines,
+              (std::vector<std::string>{"temporal", "stride"}));
+}
+
+TEST(CliOptions, PrefetcherNoneOverridesImpFlag)
+{
+    const SystemConfig cfg =
+        toConfig(parse({"--imp", "--prefetcher", "none"}));
+    EXPECT_TRUE(cfg.prefetch.engines.empty());
+    EXPECT_FALSE(cfg.imp.enabled);
+    EXPECT_FALSE(cfg.stride.enabled);
+}
+
+TEST(CliOptions, LegacyFlagsUntouchedWithoutPrefetcherFlag)
+{
+    const SystemConfig cfg = toConfig(parse({"--imp"}));
+    EXPECT_TRUE(cfg.prefetch.engines.empty());
+    EXPECT_TRUE(cfg.imp.enabled);
+}
+
 TEST(CliOptions, TempoAndCompareConflict)
 {
     EXPECT_THROW((void)parse({"--tempo", "--compare"}),

@@ -76,6 +76,67 @@ TEST(ConfigFile, SetsVmAndImpAndCore)
     EXPECT_EQ(cfg.seed, 777u);
 }
 
+TEST(ConfigFile, SetsPrefetchSections)
+{
+    const SystemConfig cfg = apply(
+        "[prefetch]\nengines = tskid,misb\n"
+        "[stride]\nenabled = true\ntable_entries = 32\n"
+        "confidence_threshold = 3\ndegree = 1\ndistance = 8\n"
+        "[tskid]\ntable_entries = 16\nconfidence_threshold = 1\n"
+        "degree = 4\ndistance = 2\nlead_cycles = 123\n"
+        "max_pending = 7\n"
+        "[misb]\npair_entries = 1024\nmetadata_cache_entries = 64\n"
+        "degree = 3\ntrain_threshold = 5\nmax_metadata_inflight = 4\n"
+        "[temporal]\ntable_entries = 2048\nconfidence_threshold = 2\n"
+        "degree = 1\ntrain_threshold = 6\n");
+    EXPECT_EQ(cfg.prefetch.engines,
+              (std::vector<std::string>{"tskid", "misb"}));
+    EXPECT_TRUE(cfg.stride.enabled);
+    EXPECT_EQ(cfg.stride.tableEntries, 32u);
+    EXPECT_EQ(cfg.stride.confidenceThreshold, 3u);
+    EXPECT_EQ(cfg.stride.degree, 1u);
+    EXPECT_EQ(cfg.stride.distance, 8u);
+    EXPECT_EQ(cfg.tskid.tableEntries, 16u);
+    EXPECT_EQ(cfg.tskid.confidenceThreshold, 1u);
+    EXPECT_EQ(cfg.tskid.degree, 4u);
+    EXPECT_EQ(cfg.tskid.distance, 2u);
+    EXPECT_EQ(cfg.tskid.leadCycles, 123u);
+    EXPECT_EQ(cfg.tskid.maxPending, 7u);
+    EXPECT_EQ(cfg.misb.pairEntries, 1024u);
+    EXPECT_EQ(cfg.misb.metadataCacheEntries, 64u);
+    EXPECT_EQ(cfg.misb.degree, 3u);
+    EXPECT_EQ(cfg.misb.trainThreshold, 5u);
+    EXPECT_EQ(cfg.misb.maxMetadataInflight, 4u);
+    EXPECT_EQ(cfg.temporal.tableEntries, 2048u);
+    EXPECT_EQ(cfg.temporal.confidenceThreshold, 2u);
+    EXPECT_EQ(cfg.temporal.degree, 1u);
+    EXPECT_EQ(cfg.temporal.trainThreshold, 6u);
+}
+
+TEST(ConfigFile, BadPrefetchEnginesNameTheLine)
+{
+    try {
+        apply("[prefetch]\nengines = stride,warp\n");
+        FAIL() << "expected an exception";
+    } catch (const std::invalid_argument &error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("warp"), std::string::npos) << what;
+    }
+}
+
+TEST(ConfigFile, UnknownPrefetchKeysAreErrors)
+{
+    EXPECT_THROW(apply("[prefetch]\nengine = stride\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(apply("[stride]\nstride = 64\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(apply("[tskid]\nlead = 10\n"), std::invalid_argument);
+    EXPECT_THROW(apply("[misb]\ndepth = 2\n"), std::invalid_argument);
+    EXPECT_THROW(apply("[temporal]\nsize = 8\n"),
+                 std::invalid_argument);
+}
+
 TEST(ConfigFile, UnknownKeyIsAnError)
 {
     EXPECT_THROW(apply("[dram]\nchanels = 4\n"),

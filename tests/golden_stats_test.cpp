@@ -68,6 +68,30 @@ const GoldenRun kGolden[] = {
      1386867ull, 1739ull, 602ull, 591ull, 591ull, 490ull,
      602ull, 1148ull, 591ull,
      0.08695, 431115.17675000004},
+    // stride_tempo.ini selects the stride engine through the
+    // prefetcher registry (explicit [prefetch] engines list), pinning
+    // the registry dispatch path alongside the legacy-flag presets.
+    {"stride_tempo.ini", "mcf",
+     2473477ull, 5011ull, 4945ull, 3769ull, 3759ull, 3397ull,
+     4945ull, 1252ull, 3759ull,
+     0.12609964382268377, 757947.01324999996},
+    {"stride_tempo.ini", "sgms",
+     1895110ull, 9073ull, 5815ull, 5169ull, 5169ull, 4418ull,
+     5815ull, 3903ull, 5169ull,
+     0.31377092267256884, 616658.75249999994},
+};
+
+/** Exact per-engine taxonomy pins for the registry preset rows
+ * (workload -> issued, useful, late, useless). */
+struct GoldenTaxonomy {
+    const char *workload;
+    std::size_t row; //!< index into kGolden
+    std::uint64_t issued, useful, late, useless;
+};
+
+const GoldenTaxonomy kGoldenTaxonomy[] = {
+    {"mcf", 4, 26606ull, 6829ull, 545ull, 19232ull},
+    {"sgms", 5, 8916ull, 554ull, 0ull, 8362ull},
 };
 
 SystemConfig
@@ -128,6 +152,26 @@ INSTANTIATE_TEST_SUITE_P(Suite, GoldenStats,
                          ::testing::Range<std::size_t>(
                              0, std::size(kGolden)));
 
+// The registry preset also pins its per-engine prefetch taxonomy: the
+// useful/late/useless split must stay exact AND sum to issued.
+TEST(GoldenStatsTaxonomy, StrideTaxonomyMatches)
+{
+    for (const GoldenTaxonomy &golden : kGoldenTaxonomy) {
+        const RunResult &r = goldenResults()[golden.row];
+        SCOPED_TRACE(golden.workload);
+        EXPECT_EQ(r.report.get("prefetch.stride.issued"),
+                  static_cast<double>(golden.issued));
+        EXPECT_EQ(r.report.get("prefetch.stride.useful"),
+                  static_cast<double>(golden.useful));
+        EXPECT_EQ(r.report.get("prefetch.stride.late"),
+                  static_cast<double>(golden.late));
+        EXPECT_EQ(r.report.get("prefetch.stride.useless"),
+                  static_cast<double>(golden.useless));
+        EXPECT_EQ(golden.useful + golden.late + golden.useless,
+                  golden.issued);
+    }
+}
+
 // The JSON documents the benches emit (BENCH_*.json) must carry the
 // tempo-bench-1 schema with every required key, and emission must be
 // deterministic: the golden runs above, flattened twice, produce the
@@ -166,7 +210,7 @@ TEST(BenchJson, SchemaHasRequiredKeysAndIsDeterministic)
 TEST(BenchJson, CommittedPresetsLoad)
 {
     for (const char *file : {"paper_baseline.ini", "tempo_full.ini",
-                             "subrow_tempo.ini"}) {
+                             "subrow_tempo.ini", "stride_tempo.ini"}) {
         SystemConfig cfg = SystemConfig::skylakeScaled();
         EXPECT_NO_THROW(cli::applyConfigFile(
             std::string(TEMPO_CONFIG_DIR) + "/" + file, cfg))

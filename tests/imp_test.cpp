@@ -144,6 +144,39 @@ TEST(Imp, FullAccuracyNeverMispredicts)
     EXPECT_EQ(imp.mispredicted(), 0u);
 }
 
+TEST(Imp, EvictionPressureSeparatesTrainEventsFromLiveStreams)
+{
+    // Regression: "trained_streams" used to count training completions
+    // cumulatively, so under table pressure an evicted-then-retrained
+    // stream was double-counted and the stat could exceed the table
+    // size. Live residency and cumulative completions are now separate.
+    ImpConfig cfg = enabled();
+    cfg.prefetchTableEntries = 2;
+    cfg.trainThreshold = 1;
+    ImpPrefetcher imp(cfg);
+    for (std::uint32_t stream = 1; stream <= 5; ++stream)
+        imp.observe(stream, true, 0x1000 + stream);
+    EXPECT_EQ(imp.trainEvents(), 5u);
+    EXPECT_EQ(imp.trainedStreams(), 2u); // bounded by the table
+    stats::Report report;
+    imp.report(report);
+    EXPECT_EQ(report.get("train_events"), 5.0);
+    EXPECT_EQ(report.get("trained_streams"), 2.0);
+}
+
+TEST(Imp, RetrainAfterEvictionCountsANewEvent)
+{
+    ImpConfig cfg = enabled();
+    cfg.prefetchTableEntries = 1;
+    cfg.trainThreshold = 1;
+    ImpPrefetcher imp(cfg);
+    imp.observe(1, true, 0x1); // trains stream 1
+    imp.observe(2, true, 0x2); // evicts 1, trains 2
+    imp.observe(1, true, 0x3); // retrains 1: a second event for it
+    EXPECT_EQ(imp.trainEvents(), 3u);
+    EXPECT_EQ(imp.trainedStreams(), 1u);
+}
+
 class ImpThresholdSweep : public ::testing::TestWithParam<unsigned>
 {
 };

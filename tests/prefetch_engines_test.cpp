@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Unit tests for the registry's timing-aware (T-SKID), metadata-managed
+ * (MISB) and temporal (Triangel-style) prefetch engines — the action
+ * streams they emit through the Prefetcher interface, independent of
+ * the core that dispatches them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/misb.hh"
+#include "prefetch/temporal.hh"
+#include "prefetch/tskid.hh"
+
+namespace tempo {
+namespace {
+
+MemRef
+ref(Addr vaddr, std::uint32_t stream = 1)
+{
+    MemRef r;
+    r.vaddr = vaddr;
+    r.stream = stream;
+    return r;
+}
+
+TEST(Tskid, HoldsPrefetchUntilLearnedReleaseTime)
+{
+    TskidConfig cfg;
+    cfg.confidenceThreshold = 1;
+    cfg.degree = 1;
+    cfg.distance = 4;
+    cfg.leadCycles = 100;
+    TskidPrefetcher pf(cfg);
+    std::vector<PrefetchAction> out;
+
+    // Stride 64, one touch every 1000 cycles: the engine learns the
+    // interval and holds the prefetch until (4 intervals - lead).
+    pf.observe(ref(0x1000), 0, out);
+    pf.observe(ref(0x1040), 1000, out);
+    pf.observe(ref(0x1080), 2000, out);
+    EXPECT_TRUE(out.empty()); // observe never emits directly
+    EXPECT_EQ(pf.scheduled(), 1u);
+
+    pf.drain(2000, out);
+    EXPECT_TRUE(out.empty()); // release = 2000 + 4*1000 - 100
+    pf.drain(5899, out);
+    EXPECT_TRUE(out.empty());
+    pf.drain(5900, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].kind, PrefetchAction::Kind::Data);
+    EXPECT_EQ(out[0].addr, 0x1080 + 4 * 64u);
+    EXPECT_EQ(pf.released(), 1u);
+}
+
+TEST(Tskid, UnknownIntervalDegradesToFireImmediately)
+{
+    TskidConfig cfg;
+    cfg.confidenceThreshold = 1;
+    cfg.degree = 1;
+    TskidPrefetcher pf(cfg);
+    std::vector<PrefetchAction> out;
+    // All touches at the same cycle: interval EWMA 0, so the predicted
+    // use is inside the lead window and release clamps to now.
+    pf.observe(ref(0x2000), 50, out);
+    pf.observe(ref(0x2040), 50, out);
+    pf.observe(ref(0x2080), 50, out);
+    pf.drain(50, out);
+    ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(Tskid, PendingCapDropsExcessPrefetches)
+{
+    TskidConfig cfg;
+    cfg.confidenceThreshold = 1;
+    cfg.degree = 4;
+    cfg.maxPending = 1;
+    cfg.leadCycles = 0;
+    TskidPrefetcher pf(cfg);
+    std::vector<PrefetchAction> out;
+    pf.observe(ref(0x3000), 0, out);
+    pf.observe(ref(0x3040), 1000, out);
+    pf.observe(ref(0x3080), 2000, out);
+    // Degree 4 wants 4 prefetches; slot 1 holds one, the rest drop.
+    EXPECT_EQ(pf.scheduled(), 1u);
+    EXPECT_EQ(pf.pendingDrops(), 1u);
+}
+
+TEST(Tskid, DrainReleasesInTimeOrder)
+{
+    TskidConfig cfg;
+    cfg.confidenceThreshold = 1;
+    cfg.degree = 2;
+    cfg.distance = 4;
+    cfg.leadCycles = 0;
+    TskidPrefetcher pf(cfg);
+    std::vector<PrefetchAction> out;
+    pf.observe(ref(0x4000), 0, out);
+    pf.observe(ref(0x4040), 100, out);
+    pf.observe(ref(0x4080), 200, out);
+    EXPECT_EQ(pf.scheduled(), 2u);
+    // distance 4 releases before distance 5 (4 vs 5 intervals out).
+    pf.drain(1u << 30, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].addr, 0x4080 + 4 * 64u);
+    EXPECT_EQ(out[1].addr, 0x4080 + 5 * 64u);
+}
+
+TEST(Misb, FirstPredictionCostsMetadataFetch)
+{
+    MisbConfig cfg;
+    cfg.trainThreshold = 1;
+    cfg.degree = 1;
+    MisbPrefetcher pf(cfg);
+    std::vector<PrefetchAction> out;
+
+    pf.observe(ref(0x1000), 0, out);
+    pf.observe(ref(0x2000), 0, out); // records pair 0x1000 -> 0x2000
+    EXPECT_TRUE(out.empty());
+
+    // Re-trigger on 0x1000: the pair exists off-chip but its metadata
+    // is not cached on chip — the engine asks for a metadata fetch
+    // instead of issuing the data prefetch.
+    pf.observe(ref(0x1000), 0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].kind, PrefetchAction::Kind::Metadata);
+    EXPECT_EQ(out[0].addr, 0x1000u);
+    EXPECT_EQ(pf.metadataMisses(), 1u);
+    EXPECT_EQ(pf.metadataHits(), 0u);
+
+    // Round-trip the pattern once more; now the metadata is cached and
+    // the data prefetch issues.
+    out.clear();
+    pf.observe(ref(0x2000), 0, out);
+    out.clear();
+    pf.observe(ref(0x1000), 0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].kind, PrefetchAction::Kind::Data);
+    EXPECT_EQ(out[0].addr, 0x2000u);
+    EXPECT_EQ(pf.metadataHits(), 1u);
+}
+
+TEST(Misb, TrainThresholdGatesPredictions)
+{
+    MisbConfig cfg;
+    cfg.trainThreshold = 10;
+    MisbPrefetcher pf(cfg);
+    std::vector<PrefetchAction> out;
+    for (int i = 0; i < 9; ++i) {
+        pf.observe(ref(0x1000 + (i % 2) * 0x1000), 0, out);
+        EXPECT_TRUE(out.empty()) << i;
+    }
+}
+
+TEST(Misb, ChainChasesSuccessorsUpToDegree)
+{
+    MisbConfig cfg;
+    cfg.trainThreshold = 1;
+    cfg.degree = 2;
+    MisbPrefetcher pf(cfg);
+    std::vector<PrefetchAction> out;
+    // Train A->B->C twice: the first lap records pairs, the second
+    // caches the metadata (each trigger's first prediction is a
+    // metadata fetch).
+    for (int lap = 0; lap < 2; ++lap) {
+        for (Addr a : {0x1000, 0x2000, 0x3000}) {
+            out.clear();
+            pf.observe(ref(a), 0, out);
+        }
+    }
+    out.clear();
+    pf.observe(ref(0x1000), 0, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].kind, PrefetchAction::Kind::Data);
+    EXPECT_EQ(out[0].addr, 0x2000u);
+    EXPECT_EQ(out[1].kind, PrefetchAction::Kind::Data);
+    EXPECT_EQ(out[1].addr, 0x3000u);
+}
+
+TEST(Misb, PairTablePressureEvicts)
+{
+    MisbConfig cfg;
+    cfg.trainThreshold = 1;
+    cfg.pairEntries = 1; // every pair maps to the same slot
+    MisbPrefetcher pf(cfg);
+    std::vector<PrefetchAction> out;
+    pf.observe(ref(0x1000), 0, out);
+    pf.observe(ref(0x2000), 0, out); // pair 0x1000 -> 0x2000
+    pf.observe(ref(0x5000), 0, out); // pair 0x2000 -> 0x5000 evicts it
+    stats::Report report;
+    pf.report(report);
+    EXPECT_EQ(report.get("pair_evictions"), 1.0);
+    // The evicted trigger can no longer predict.
+    out.clear();
+    pf.observe(ref(0x1000), 0, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Temporal, PredictsRepeatedSuccessor)
+{
+    TemporalConfig cfg;
+    cfg.trainThreshold = 1;
+    cfg.confidenceThreshold = 1;
+    cfg.degree = 1;
+    TemporalPrefetcher pf(cfg);
+    std::vector<PrefetchAction> out;
+    pf.observe(ref(0x1000), 0, out);
+    pf.observe(ref(0x2000), 0, out); // pair 0x1000 -> 0x2000
+    out.clear();
+    pf.observe(ref(0x1000), 0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].kind, PrefetchAction::Kind::Data);
+    EXPECT_EQ(out[0].addr, 0x2000u);
+    EXPECT_EQ(pf.predictions(), 1u);
+}
+
+TEST(Temporal, MispredictMustReconfirmBeforeTrusting)
+{
+    TemporalConfig cfg;
+    cfg.trainThreshold = 1;
+    cfg.confidenceThreshold = 2;
+    cfg.degree = 1;
+    TemporalPrefetcher pf(cfg);
+    std::vector<PrefetchAction> out;
+    // Two confirmations of A->B reach the threshold...
+    pf.observe(ref(0x1000), 0, out);
+    pf.observe(ref(0x2000), 0, out);
+    pf.observe(ref(0x1000), 0, out);
+    pf.observe(ref(0x2000), 0, out);
+    out.clear();
+    pf.observe(ref(0x1000), 0, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].addr, 0x2000u);
+    // ...a mispredict (A->C) decays confidence below it...
+    out.clear();
+    pf.observe(ref(0x5000), 0, out);
+    out.clear();
+    pf.observe(ref(0x1000), 0, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Temporal, SamplerWithholdsColdStreams)
+{
+    TemporalConfig cfg;
+    cfg.trainThreshold = 100;
+    cfg.confidenceThreshold = 1;
+    TemporalPrefetcher pf(cfg);
+    std::vector<PrefetchAction> out;
+    for (int i = 0; i < 50; ++i) {
+        pf.observe(ref(0x1000 + (i % 2) * 0x1000), 0, out);
+        EXPECT_TRUE(out.empty()) << i;
+    }
+}
+
+TEST(Temporal, TablePressureEvictsAndCounts)
+{
+    TemporalConfig cfg;
+    cfg.trainThreshold = 1;
+    cfg.tableEntries = 1;
+    TemporalPrefetcher pf(cfg);
+    std::vector<PrefetchAction> out;
+    pf.observe(ref(0x1000), 0, out);
+    pf.observe(ref(0x2000), 0, out); // entry: 0x1000 -> 0x2000
+    pf.observe(ref(0x5000), 0, out); // entry: 0x2000 -> 0x5000 (evict)
+    stats::Report report;
+    pf.report(report);
+    EXPECT_EQ(report.get("evictions"), 1.0);
+}
+
+} // namespace
+} // namespace tempo

@@ -103,6 +103,85 @@ TEST(Stride, NegativeStridesWork)
     EXPECT_EQ(out[0], 0x10000 - 192u);
 }
 
+TEST(Stride, HighAddressesTrainAndIssue)
+{
+    // Regression: the target checks used signed comparisons, so any
+    // vaddr at or above 2^63 looked negative and streams up there never
+    // prefetched. Addresses have no sign.
+    StrideConfig cfg = enabled();
+    cfg.confidenceThreshold = 1;
+    cfg.degree = 1;
+    cfg.distance = 1;
+    StridePrefetcher pf(cfg);
+    std::vector<Addr> out;
+    const Addr base = Addr{1} << 63;
+    pf.observe(1, base, out);
+    pf.observe(1, base + 64, out);
+    pf.observe(1, base + 128, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], base + 192);
+}
+
+TEST(Stride, NegativeStrideCrossingZeroDropsWrap)
+{
+    // Regression: a descending stream near address 0 used to wrap
+    // below zero and prefetch a bogus top-of-address-space target; the
+    // wrap is now detected and the target dropped (counted).
+    StrideConfig cfg = enabled();
+    cfg.confidenceThreshold = 1;
+    cfg.degree = 1;
+    cfg.distance = 4;
+    StridePrefetcher pf(cfg);
+    std::vector<Addr> out;
+    pf.observe(1, 0x140, out);
+    pf.observe(1, 0x100, out);
+    pf.observe(1, 0xc0, out); // target 0xc0 - 4*64 underflows
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.issued(), 0u);
+    stats::Report report;
+    pf.report(report);
+    EXPECT_EQ(report.get("wrap_dropped"), 1.0);
+}
+
+TEST(Stride, PositiveStrideWrappingTopIsDropped)
+{
+    StrideConfig cfg = enabled();
+    cfg.confidenceThreshold = 1;
+    cfg.degree = 1;
+    cfg.distance = 4;
+    StridePrefetcher pf(cfg);
+    std::vector<Addr> out;
+    const Addr top = ~Addr{0} - 255; // 256 bytes below 2^64
+    pf.observe(1, top - 128, out);
+    pf.observe(1, top - 64, out);
+    pf.observe(1, top, out); // target top + 256 wraps past 2^64
+    EXPECT_TRUE(out.empty());
+    stats::Report report;
+    pf.report(report);
+    EXPECT_EQ(report.get("wrap_dropped"), 1.0);
+}
+
+TEST(Stride, StreamStartingAtZeroTrains)
+{
+    // Regression: lastAddr == 0 doubled as the "no history" sentinel,
+    // so a stream whose first demand hit vaddr 0 trained one step late
+    // (and a later touch OF address 0 reset the stream). History is
+    // now tracked explicitly.
+    StrideConfig cfg = enabled();
+    cfg.confidenceThreshold = 1;
+    cfg.degree = 1;
+    cfg.distance = 1;
+    StridePrefetcher pf(cfg);
+    std::vector<Addr> out;
+    pf.observe(1, 0, out);
+    EXPECT_TRUE(out.empty()); // first touch: history only
+    pf.observe(1, 64, out);
+    EXPECT_TRUE(out.empty()); // first stride observation
+    pf.observe(1, 128, out);
+    ASSERT_EQ(out.size(), 1u); // trained exactly like any other base
+    EXPECT_EQ(out[0], 192u);
+}
+
 TEST(Stride, StreamsAreIndependent)
 {
     StrideConfig cfg = enabled();
