@@ -26,6 +26,15 @@
  * batches journal completed points to CKPT_<name>.jsonl there and a
  * re-run resumes, skipping what already finished; the resumed output
  * is byte-identical to an uninterrupted run.
+ *
+ * Scale-out (src/fabric/): TEMPO_FABRIC_DIR plus TEMPO_FABRIC_ROLE
+ * ("worker" | "coordinator") run a bench's single-app batches as one
+ * multi-process sweep — workers claim points in the shared directory
+ * and every participant emits the same bytes a single-process run
+ * would. TEMPO_FABRIC_WORKER names a worker (default w<pid>);
+ * TEMPO_FABRIC_STALE_SEC / TEMPO_FABRIC_HEARTBEAT_SEC tune crash
+ * detection; TEMPO_PROGRESS prints a progress line every N points.
+ * Multiprogrammed batches (runAllMix) do not fabric-distribute.
  */
 
 #ifndef TEMPO_BENCH_BENCH_COMMON_HH
@@ -143,13 +152,18 @@ currentBenchName()
     return name;
 }
 
-/** Engine options for a bench batch: fault handling from the
- * environment, plus a per-bench checkpoint journal when
- * TEMPO_BENCH_CHECKPOINT_DIR is set. */
+/** Engine options for a bench batch: fault handling and the sweep
+ * fabric from the environment (TEMPO_FABRIC_DIR + TEMPO_FABRIC_ROLE
+ * turn any bench driver into a fabric worker or coordinator; see
+ * EXPERIMENTS.md "Fabric sweeps"), plus a per-bench checkpoint
+ * journal when TEMPO_BENCH_CHECKPOINT_DIR is set (ignored under the
+ * fabric, whose shard files are the journal). */
 inline ExperimentOptions
 benchOptions()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
+    if (!currentBenchName().empty())
+        opts.progressLabel = currentBenchName();
     const char *dir = std::getenv("TEMPO_BENCH_CHECKPOINT_DIR");
     if (dir && !currentBenchName().empty())
         opts.checkpointPath = std::string(dir) + "/CKPT_"

@@ -1,9 +1,15 @@
 #include "core/checkpoint.hh"
 
 #include <charconv>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace tempo {
 
@@ -207,6 +213,80 @@ decodeRunResult(const stats::JsonValue &value)
     return result;
 }
 
+std::string
+encodeJournalLine(std::uint64_t digest, const RunResult &result)
+{
+    Json doc = Json::object();
+    doc.set("v", std::uint64_t(1));
+    doc.set("digest", hex16(digest));
+    if (!result.status.ok()) {
+        doc.set("status", result.status.codeName());
+        doc.set("error", result.status.error);
+    }
+    doc.set("attempts", std::uint64_t(result.status.attempts));
+    doc.set("seed", result.status.seedUsed);
+    doc.set("result", encodeRunResult(result));
+    return doc.dumpCompact();
+}
+
+JournalRecord
+decodeJournalLine(const std::string &line)
+{
+    const JsonValue doc = stats::parseJson(line);
+    JournalRecord record;
+    record.digest = parseHex16(doc.at("digest").asString());
+    record.result = decodeRunResult(doc.at("result"));
+    RunStatus &status = record.result.status;
+    if (const JsonValue *code = doc.find("status")) {
+        const std::string &name = code->asString();
+        if (name == "ok")
+            status.code = RunStatus::Code::Ok;
+        else if (name == "failed")
+            status.code = RunStatus::Code::Failed;
+        else if (name == "timed_out")
+            status.code = RunStatus::Code::TimedOut;
+        else
+            throw std::runtime_error("journal: unknown status " + name);
+        if (const JsonValue *error = doc.find("error"))
+            status.error = error->asString();
+    }
+    status.attempts =
+        static_cast<unsigned>(doc.at("attempts").asUint64());
+    status.seedUsed = doc.at("seed").asUint64();
+    status.digest = record.digest;
+    return record;
+}
+
+AtomicAppendFile::AtomicAppendFile(std::string path)
+    : path_(std::move(path))
+{
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                 0644);
+    if (fd_ < 0)
+        throw std::runtime_error("cannot open " + path_ + ": " +
+                                 std::strerror(errno));
+}
+
+AtomicAppendFile::~AtomicAppendFile()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+AtomicAppendFile::appendLine(const std::string &line)
+{
+    std::string buf = line;
+    buf += '\n';
+    // One write covers the whole line. Regular-file O_APPEND writes
+    // land atomically at EOF; a genuinely short write (disk full,
+    // signal) is an error — retrying would interleave with concurrent
+    // appenders, exactly what this class exists to prevent.
+    const ssize_t wrote = ::write(fd_, buf.data(), buf.size());
+    if (wrote != static_cast<ssize_t>(buf.size()))
+        throw std::runtime_error("short write to " + path_);
+}
+
 SweepJournal::SweepJournal(std::string path) : path_(std::move(path))
 {
     // Load whatever is already there. Any malformed line — in practice
@@ -222,15 +302,8 @@ SweepJournal::SweepJournal(std::string path) : path_(std::move(path))
                 continue;
             }
             try {
-                const JsonValue doc = stats::parseJson(line);
-                const std::uint64_t digest =
-                    parseHex16(doc.at("digest").asString());
-                RunResult result = decodeRunResult(doc.at("result"));
-                result.status.attempts =
-                    static_cast<unsigned>(doc.at("attempts").asUint64());
-                result.status.seedUsed = doc.at("seed").asUint64();
-                result.status.digest = digest;
-                loaded_[digest] = std::move(result);
+                JournalRecord record = decodeJournalLine(line);
+                loaded_[record.digest] = std::move(record.result);
             } catch (const std::exception &) {
                 clean = false;
                 break;
@@ -243,10 +316,13 @@ SweepJournal::SweepJournal(std::string path) : path_(std::move(path))
         if (!clean)
             std::filesystem::resize_file(path_, good_end);
     }
-    out_.open(path_, std::ios::app);
-    if (!out_)
-        throw std::runtime_error("cannot open checkpoint journal " +
-                                 path_);
+    try {
+        out_ = std::make_unique<AtomicAppendFile>(path_);
+    } catch (const std::exception &error) {
+        throw std::runtime_error(
+            std::string("cannot open checkpoint journal ") + path_ +
+            ": " + error.what());
+    }
 }
 
 bool
@@ -262,20 +338,9 @@ SweepJournal::restore(std::uint64_t digest, RunResult &out) const
 void
 SweepJournal::record(std::uint64_t digest, const RunResult &result)
 {
-    Json doc = Json::object();
-    doc.set("v", std::uint64_t(1));
-    doc.set("digest", hex16(digest));
-    doc.set("attempts", std::uint64_t(result.status.attempts));
-    doc.set("seed", result.status.seedUsed);
-    doc.set("result", encodeRunResult(result));
-
+    const std::string line = encodeJournalLine(digest, result);
     const std::lock_guard<std::mutex> lock(mutex_);
-    doc.writeCompact(out_);
-    out_ << '\n';
-    out_.flush();
-    if (!out_)
-        throw std::runtime_error("short write to checkpoint journal " +
-                                 path_);
+    out_->appendLine(line);
 }
 
 } // namespace tempo

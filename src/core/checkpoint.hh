@@ -25,8 +25,8 @@
 #define TEMPO_CORE_CHECKPOINT_HH
 
 #include <cstdint>
-#include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -46,10 +46,61 @@ stats::Json encodeRunResult(const RunResult &result);
 RunResult decodeRunResult(const stats::JsonValue &value);
 
 /**
+ * Encode one complete journal record as a single JSONL line (no
+ * trailing newline). Ok points emit exactly the pre-fabric journal
+ * format; failed/timed-out points — which the fabric's per-worker
+ * shard files journal too, unlike the resume journal — additionally
+ * carry "status" and "error" between "digest" and "attempts".
+ */
+std::string encodeJournalLine(std::uint64_t digest,
+                              const RunResult &result);
+
+/**
+ * Decode one journal/shard line back into (digest, result). The
+ * result's status fields (code, error, attempts, seedUsed, digest) are
+ * fully restored; absent "status" reads ok.
+ * @throws std::runtime_error on malformed input.
+ */
+struct JournalRecord {
+    std::uint64_t digest = 0;
+    RunResult result;
+};
+JournalRecord decodeJournalLine(const std::string &line);
+
+/**
+ * Append-only file whose appendLine() issues one O_APPEND write(2) per
+ * line. Concurrent writers — two processes sharing a resume journal,
+ * or a fabric coordinator tailing a worker's shard mid-append — never
+ * observe interleaved bytes within a line, only whole lines (plus at
+ * most one truncated tail after a kill).
+ */
+class AtomicAppendFile
+{
+  public:
+    /** @throws std::runtime_error when @p path cannot be opened. */
+    explicit AtomicAppendFile(std::string path);
+    ~AtomicAppendFile();
+
+    AtomicAppendFile(const AtomicAppendFile &) = delete;
+    AtomicAppendFile &operator=(const AtomicAppendFile &) = delete;
+
+    /** Append @p line plus '\n' as one write; not thread-safe (callers
+     * serialize), but safe against concurrent writers of the same
+     * file. @throws std::runtime_error on a short or failed write. */
+    void appendLine(const std::string &line);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+};
+
+/**
  * The append-only journal. Construction loads whatever complete lines
  * an existing file holds (ignoring a truncated tail), then reopens it
- * for appending. record() is thread-safe and flushes per point, so a
- * kill loses at most the line being written.
+ * for appending. record() is thread-safe and writes each point as one
+ * append, so a kill loses at most the line being written.
  */
 class SweepJournal
 {
@@ -68,7 +119,7 @@ class SweepJournal
   private:
     std::string path_;
     std::map<std::uint64_t, RunResult> loaded_;
-    std::ofstream out_;
+    std::unique_ptr<AtomicAppendFile> out_;
     std::mutex mutex_;
 };
 

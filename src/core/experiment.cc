@@ -10,6 +10,8 @@
 #include "common/thread_pool.hh"
 #include "common/watchdog.hh"
 #include "core/checkpoint.hh"
+#include "fabric/coordinator.hh"
+#include "fabric/snapshot.hh"
 
 namespace tempo {
 
@@ -173,6 +175,28 @@ ExperimentOptions::fromEnv()
     if (const char *env = std::getenv("TEMPO_SHARDS"))
         opts.shards =
             static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    if (const char *env = std::getenv("TEMPO_FABRIC_DIR"))
+        opts.fabricDir = env;
+    if (const char *env = std::getenv("TEMPO_FABRIC_ROLE")) {
+        const std::string role = env;
+        if (role == "worker")
+            opts.fabricRole = FabricRole::Worker;
+        else if (role == "coordinator")
+            opts.fabricRole = FabricRole::Coordinator;
+        else if (!role.empty())
+            throw std::invalid_argument(
+                "TEMPO_FABRIC_ROLE: expected worker or coordinator, "
+                "got " + role);
+    }
+    if (const char *env = std::getenv("TEMPO_FABRIC_WORKER"))
+        opts.fabricWorkerId = env;
+    if (const char *env = std::getenv("TEMPO_FABRIC_STALE_SEC"))
+        opts.fabricStaleSec = std::strtod(env, nullptr);
+    if (const char *env = std::getenv("TEMPO_FABRIC_HEARTBEAT_SEC"))
+        opts.fabricHeartbeatSec = std::strtod(env, nullptr);
+    if (const char *env = std::getenv("TEMPO_PROGRESS"))
+        opts.progressEvery =
+            static_cast<unsigned>(std::strtoul(env, nullptr, 10));
     if (const char *env = std::getenv("TEMPO_FAULT_INJECT")) {
         // "<index>:throw,<index>:hang" — a test hook, so malformed
         // specs fail fast rather than silently injecting nothing.
@@ -217,8 +241,43 @@ runExperiments(const std::vector<ExperimentPoint> &raw_points,
             point.config.withShards(*opts.shards);
     }
 
-    std::vector<RunResult> results(points.size());
     std::vector<std::uint64_t> digests(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        digests[i] = pointDigest(points[i], i);
+
+    // One attempt of point i, behind the exception barrier — shared by
+    // the in-process pool and the fabric worker loop.
+    auto run_one = [&](std::size_t i) -> RunResult {
+        const ExperimentPoint &point = points[i];
+        const std::uint64_t base_seed =
+            point.seed ? *point.seed : point.config.seed;
+        return runPointGuarded<RunResult>(
+            opts, i, base_seed, digests[i], [&](std::uint64_t seed) {
+                auto workload = point.makeWorkloadFn
+                    ? point.makeWorkloadFn()
+                    : makeWorkload(point.workload, seed);
+                TempoSystem system(point.config, std::move(workload));
+                return system.run(point.refs, point.warmup);
+            });
+    };
+
+    // Progress tracker: the caller's (tempo_sweep --serve), or an
+    // internal one when only --progress / TEMPO_PROGRESS is set.
+    fabric::SweepProgress local_progress;
+    fabric::SweepProgress *progress = opts.progress
+        ? opts.progress
+        : (opts.progressEvery > 0 ? &local_progress : nullptr);
+    if (progress)
+        progress->configure(opts.progressLabel, points.size(),
+                            opts.progressEvery);
+
+    // Fabric execution: claims, shard streaming, and the merge replace
+    // the in-process pool entirely (checkpointPath is ignored — the
+    // per-worker shard files are the journal; see src/fabric/).
+    if (opts.fabricActive())
+        return fabric::runFabric(opts, digests, run_one, progress);
+
+    std::vector<RunResult> results(points.size());
     std::vector<char> restored(points.size(), 0);
 
     std::unique_ptr<SweepJournal> journal;
@@ -226,32 +285,29 @@ runExperiments(const std::vector<ExperimentPoint> &raw_points,
         journal = std::make_unique<SweepJournal>(opts.checkpointPath);
 
     for (std::size_t i = 0; i < points.size(); ++i) {
-        digests[i] = pointDigest(points[i], i);
         if (journal && journal->restore(digests[i], results[i]))
             restored[i] = 1;
     }
 
     std::mutex done_mutex;
     parallelFor(points.size(), opts.jobs, [&](std::size_t i) {
-        const ExperimentPoint &point = points[i];
+        double wall_sec = 0;
         if (!restored[i]) {
-            const std::uint64_t base_seed =
-                point.seed ? *point.seed : point.config.seed;
-            results[i] = runPointGuarded<RunResult>(
-                opts, i, base_seed, digests[i],
-                [&](std::uint64_t seed) {
-                    auto workload = point.makeWorkloadFn
-                        ? point.makeWorkloadFn()
-                        : makeWorkload(point.workload, seed);
-                    TempoSystem system(point.config,
-                                       std::move(workload));
-                    return system.run(point.refs, point.warmup);
-                });
+            if (progress)
+                progress->start(i);
+            const auto t0 = std::chrono::steady_clock::now();
+            results[i] = run_one(i);
+            wall_sec = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
         }
         const std::lock_guard<std::mutex> lock(done_mutex);
         // Only ok points are journaled; see core/checkpoint.hh.
         if (journal && !restored[i] && results[i].status.ok())
             journal->record(digests[i], results[i]);
+        if (progress)
+            progress->done(i, results[i], wall_sec,
+                           /*ran=*/restored[i] == 0);
         if (opts.onPointDone)
             opts.onPointDone(i, results[i]);
     });

@@ -33,6 +33,10 @@
 
 namespace tempo {
 
+namespace fabric {
+class SweepProgress;
+} // namespace fabric
+
 /** One single-application simulation point. */
 struct ExperimentPoint {
     /** Workload generator name (makeWorkload), or a label when
@@ -102,17 +106,65 @@ struct ExperimentOptions {
     /** Test hook: injected faults (see FaultInjection). */
     std::vector<FaultInjection> inject;
     /** Progress callback, invoked under the engine lock as each point
-     * finishes (in completion order, not index order). */
+     * finishes (in completion order, not index order). Under fabric
+     * execution it fires for the points THIS process ran, not for
+     * points other workers completed. */
     std::function<void(std::size_t index, const RunResult &)> onPointDone;
+
+    // --- Scale-out sweep fabric (src/fabric/, ISSUE 9) ---
+
+    /** Which side of the fabric protocol this process plays. */
+    enum class FabricRole {
+        None,        //!< single-process execution (the default)
+        Worker,      //!< claim points, run them, stream shard records
+        Coordinator, //!< run nothing; wait for workers and merge
+    };
+
+    /** Shared fabric directory (claims, heartbeats, per-worker result
+     * shards, status snapshots). Empty = fabric off. When a fabric
+     * role is active, checkpointPath is ignored: the shard files ARE
+     * the journal, and a restarted sweep resumes from them. */
+    std::string fabricDir;
+    FabricRole fabricRole = FabricRole::None;
+    /** Stable worker identity (names the heartbeat/shard/status
+     * files); "" derives "w<pid>". */
+    std::string fabricWorkerId;
+    /** A claim whose owner has not heartbeat for this long is presumed
+     * dead and reclaimed by another worker. */
+    double fabricStaleSec = 30.0;
+    /** Liveness heartbeat period for fabric workers. */
+    double fabricHeartbeatSec = 1.0;
+
+    // --- Progress reporting (tempo_sweep --progress / --serve) ---
+
+    /** Emit a stderr progress line (done/failed/total, elapsed, ETA)
+     * every this many completed points; 0 = silent. */
+    unsigned progressEvery = 0;
+    /** Label for progress lines, fabric manifests, and snapshots. */
+    std::string progressLabel = "sweep";
+    /** Optional external tracker (tempo_sweep --serve feeds its local
+     * snapshot endpoint from one); the engine reports point starts and
+     * completions into it. When null and progressEvery > 0 the engine
+     * uses an internal tracker. Not owned. */
+    fabric::SweepProgress *progress = nullptr;
 
     /**
      * Environment overrides, applied by the benches so CI can inject
      * faults without per-binary flags: TEMPO_RETRIES,
      * TEMPO_POINT_TIMEOUT (seconds), TEMPO_SHARDS (worker count for
      * the sharded engine), TEMPO_FAULT_INJECT
-     * ("<index>:throw,<index>:hang").
+     * ("<index>:throw,<index>:hang"), TEMPO_PROGRESS (progress line
+     * period), and the fabric: TEMPO_FABRIC_DIR, TEMPO_FABRIC_ROLE
+     * ("worker" | "coordinator"), TEMPO_FABRIC_WORKER,
+     * TEMPO_FABRIC_STALE_SEC, TEMPO_FABRIC_HEARTBEAT_SEC.
      */
     static ExperimentOptions fromEnv();
+
+    bool
+    fabricActive() const
+    {
+        return !fabricDir.empty() && fabricRole != FabricRole::None;
+    }
 };
 
 /**

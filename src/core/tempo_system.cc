@@ -1,5 +1,8 @@
 #include "core/tempo_system.hh"
 
+#include <atomic>
+#include <cstdio>
+
 #include "common/log.hh"
 #include "common/profiler.hh"
 
@@ -120,6 +123,17 @@ TempoSystem::run(std::uint64_t num_refs, std::uint64_t warmup_refs)
         // sharding; "timeseries_windows" reports 0 there.
         if (window > 0 && !engine_)
             scheduleObsSample(s, window);
+        else if (window > 0 && engine_) {
+            static std::atomic<bool> warned{false};
+            if (!warned.exchange(true))
+                std::fprintf(
+                    stderr,
+                    "warning: time-series sampling "
+                    "(timeseries-window) is disabled under the "
+                    "sharded engine (shards > 0); the sampler reads "
+                    "shared-side state that sharded domains cannot "
+                    "touch safely\n");
+        }
     }
     core_->start(num_refs + warmup_refs);
     prof::Totals prof_totals;

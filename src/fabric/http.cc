@@ -1,0 +1,176 @@
+#include "fabric/http.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace tempo::fabric {
+
+namespace {
+
+std::string
+httpResponse(int code, const char *reason, const std::string &type,
+             const std::string &body)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(code) + " " +
+                      reason + "\r\n";
+    out += "Content-Type: " + type + "\r\n";
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += "Cache-Control: no-store\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+void
+sendAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return; // peer went away; nothing to clean up
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+HttpServer::HttpServer(const std::string &host, std::uint16_t port,
+                       Provider provider)
+    : host_(host.empty() ? "127.0.0.1" : host),
+      provider_(std::move(provider))
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        throw std::runtime_error(std::string("socket: ") +
+                                 std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("--serve: bad address " + host_);
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, 16) != 0) {
+        const std::string error = std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw std::runtime_error("--serve: cannot listen on " + host_ +
+                                 ":" + std::to_string(port) + ": " +
+                                 error);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
+                  &len);
+    port_ = ntohs(bound.sin_port);
+    thread_ = std::thread([this] { serveLoop(); });
+}
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+void
+HttpServer::stop()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable())
+        thread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+}
+
+void
+HttpServer::serveLoop()
+{
+    while (!stop_.load(std::memory_order_relaxed)) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready <= 0)
+            continue; // timeout tick: re-check the stop flag
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        timeval timeout{2, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                     sizeof(timeout));
+        handleConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+HttpServer::handleConnection(int fd)
+{
+    std::string request;
+    char buf[2048];
+    while (request.size() < 16384 &&
+           request.find("\r\n\r\n") == std::string::npos) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        request.append(buf, static_cast<std::size_t>(n));
+    }
+    const std::size_t lineEnd = request.find("\r\n");
+    if (lineEnd == std::string::npos)
+        return;
+    const std::string line = request.substr(0, lineEnd);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos)
+        return;
+    const std::string method = line.substr(0, sp1);
+    std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = path.find('?');
+    if (query != std::string::npos)
+        path.resize(query);
+
+    if (method != "GET" && method != "HEAD") {
+        sendAll(fd, httpResponse(405, "Method Not Allowed",
+                                 "text/plain", "GET only\n"));
+        return;
+    }
+    std::string response;
+    if (path == "/" || path == "/index.html") {
+        response = httpResponse(200, "OK", "text/html; charset=utf-8",
+                                dashboardHtml());
+    } else if (path == "/snapshot.json") {
+        try {
+            response = httpResponse(200, "OK", "application/json",
+                                    provider_());
+        } catch (const std::exception &error) {
+            response =
+                httpResponse(500, "Internal Server Error",
+                             "text/plain",
+                             std::string(error.what()) + "\n");
+        }
+    } else {
+        response = httpResponse(404, "Not Found", "text/plain",
+                                "try / or /snapshot.json\n");
+    }
+    if (method == "HEAD")
+        response.resize(response.find("\r\n\r\n") + 4);
+    sendAll(fd, response);
+}
+
+} // namespace tempo::fabric

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A deliberately minimal embedded HTTP server for `tempo_sweep
+ * --serve`: GET-only, one request per connection, serving exactly two
+ * resources — the static HTML dashboard at "/" and the live snapshot
+ * JSON at "/snapshot.json" (rebuilt by the provider callback on every
+ * request, never cached). Plain POSIX sockets; no framework, no TLS,
+ * no keep-alive. Meant for localhost or a trusted lab network.
+ */
+
+#ifndef TEMPO_FABRIC_HTTP_HH
+#define TEMPO_FABRIC_HTTP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace tempo::fabric {
+
+class HttpServer
+{
+  public:
+    /** Builds the snapshot JSON body; called per request from the
+     * server thread, so it must be thread-safe. A throw becomes a
+     * 500 response. */
+    using Provider = std::function<std::string()>;
+
+    /**
+     * Bind @p host:@p port (port 0 picks an ephemeral port — see
+     * port()) and start serving on a background thread.
+     * @throws std::runtime_error when the socket cannot be bound.
+     */
+    HttpServer(const std::string &host, std::uint16_t port,
+               Provider provider);
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Stop accepting and join the server thread (idempotent). */
+    void stop();
+
+    /** The actually-bound port (resolves port 0). */
+    std::uint16_t port() const { return port_; }
+    const std::string &host() const { return host_; }
+
+  private:
+    void serveLoop();
+    void handleConnection(int fd);
+
+    std::string host_;
+    std::uint16_t port_ = 0;
+    Provider provider_;
+    int listenFd_ = -1;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+/** The self-contained ops dashboard page ("/"): progress bar, stat
+ * tiles, worker table, failure feed, throughput sparkline; polls
+ * snapshot.json every 2s. No external assets. */
+std::string dashboardHtml();
+
+} // namespace tempo::fabric
+
+#endif // TEMPO_FABRIC_HTTP_HH

@@ -473,6 +473,41 @@ parseJson(const std::string &text)
     return v;
 }
 
+Json
+toJson(const JsonValue &value)
+{
+    switch (value.kind) {
+      case JsonValue::Kind::Null:
+        return Json();
+      case JsonValue::Kind::Bool:
+        return Json(value.boolean);
+      case JsonValue::Kind::Number:
+        // Plain digit runs re-emit as exact integers; anything with a
+        // sign, fraction, or exponent goes through the double path
+        // (shortest round-trip, so re-emission is stable).
+        if (value.text.size() <= 19 &&
+            value.text.find_first_not_of("0123456789") ==
+                std::string::npos)
+            return Json(value.asUint64());
+        return Json(value.asDouble());
+      case JsonValue::Kind::String:
+        return Json(value.text);
+      case JsonValue::Kind::Array: {
+        Json array = Json::array();
+        for (const JsonValue &element : value.elements)
+            array.push(toJson(element));
+        return array;
+      }
+      case JsonValue::Kind::Object: {
+        Json object = Json::object();
+        for (const auto &[key, member] : value.members)
+            object.set(key, toJson(member));
+        return object;
+      }
+    }
+    return Json();
+}
+
 namespace {
 
 std::string

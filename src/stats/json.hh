@@ -160,6 +160,16 @@ struct JsonValue {
  */
 JsonValue parseJson(const std::string &text);
 
+/**
+ * Rebuild a writable Json from a parsed JsonValue, so a document can be
+ * read, augmented, and re-emitted (the fabric coordinator embeds worker
+ * status files into its merged snapshot this way). Number tokens
+ * without '.', 'e' or '-' re-emit as exact integers; everything else
+ * round-trips through the shortest-round-trip double path, so
+ * re-emitting a document this module wrote reproduces its bytes.
+ */
+Json toJson(const JsonValue &value);
+
 /** One simulation point of a bench result file. */
 struct BenchPoint {
     std::string workload;

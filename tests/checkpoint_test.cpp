@@ -14,6 +14,7 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "core/checkpoint.hh"
 #include "core/experiment.hh"
@@ -240,6 +241,78 @@ TEST(Checkpoint, ConfigChangeInvalidatesRestore)
     for (const RunResult &result : rerun)
         EXPECT_TRUE(result.status.ok());
     EXPECT_EQ(SweepJournal(file.path).loadedCount(), 8u);
+}
+
+TEST(Checkpoint, ConcurrentWritersNeverInterleaveLines)
+{
+    // Two journal instances on one path (the fabric: two processes
+    // appending to a shared file) write from two threads at once.
+    // AtomicAppendFile's single-write O_APPEND appends must keep every
+    // line whole: a reload parses all of them.
+    TempFile file("concurrent");
+    const RunResult result = sampleResult();
+    constexpr int kPerWriter = 50;
+    {
+        SweepJournal a(file.path);
+        SweepJournal b(file.path);
+        std::thread ta([&] {
+            for (int i = 0; i < kPerWriter; ++i)
+                a.record(0x1000u + i, result);
+        });
+        std::thread tb([&] {
+            for (int i = 0; i < kPerWriter; ++i)
+                b.record(0x2000u + i, result);
+        });
+        ta.join();
+        tb.join();
+    }
+    SweepJournal reopened(file.path);
+    EXPECT_EQ(reopened.loadedCount(), 2u * kPerWriter);
+    RunResult out;
+    for (int i = 0; i < kPerWriter; ++i) {
+        EXPECT_TRUE(reopened.restore(0x1000u + i, out));
+        EXPECT_TRUE(reopened.restore(0x2000u + i, out));
+    }
+}
+
+TEST(Checkpoint, TruncatedTailRepairSurvivesConcurrentAppends)
+{
+    // A kill mid-append leaves a truncated tail; the next TWO journals
+    // to open the file concurrently both tolerate it (the first
+    // repairs, the second sees a clean file) and their interleaved
+    // appends still reload completely.
+    TempFile file("torn_concurrent");
+    const RunResult result = sampleResult();
+    {
+        SweepJournal journal(file.path);
+        journal.record(1, result);
+        journal.record(2, result);
+    }
+    // Chop the final line in half.
+    std::string bytes = slurp(file.path);
+    bytes.resize(bytes.size() - bytes.size() / 4);
+    {
+        std::ofstream out(file.path,
+                          std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+    {
+        SweepJournal a(file.path); // repairs the tail
+        EXPECT_EQ(a.loadedCount(), 1u);
+        SweepJournal b(file.path); // already clean
+        EXPECT_EQ(b.loadedCount(), 1u);
+        std::thread ta([&] {
+            for (int i = 0; i < 20; ++i)
+                a.record(0x100u + i, result);
+        });
+        std::thread tb([&] {
+            for (int i = 0; i < 20; ++i)
+                b.record(0x200u + i, result);
+        });
+        ta.join();
+        tb.join();
+    }
+    EXPECT_EQ(SweepJournal(file.path).loadedCount(), 41u);
 }
 
 } // namespace

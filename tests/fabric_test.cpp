@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Sweep fabric tests: claim exclusivity under racing contenders, stale
+ * detection and reclaim, the streaming shard scanner's handling of a
+ * truncated tail, snapshot JSON round-trips and the counting
+ * invariant, the embedded HTTP server, and the headline property — a
+ * multi-worker fabric sweep returns byte-identical results to a
+ * single-process run, failures included.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <thread>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/checkpoint.hh"
+#include "core/experiment.hh"
+#include "fabric/claim.hh"
+#include "fabric/coordinator.hh"
+#include "fabric/heartbeat.hh"
+#include "fabric/http.hh"
+#include "fabric/snapshot.hh"
+
+namespace tempo {
+namespace {
+
+namespace fs = std::filesystem;
+using fabric::ClaimDir;
+using fabric::Heartbeat;
+using fabric::ShardScanner;
+
+constexpr std::uint64_t kRefs = 2000;
+
+/** A scratch directory removed on scope exit. */
+struct TempDir {
+    std::string path;
+    explicit TempDir(const std::string &name)
+        : path("fabric_test_" + name)
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir()
+    {
+        std::error_code ignore;
+        fs::remove_all(path, ignore);
+    }
+};
+
+std::vector<ExperimentPoint>
+sweepPoints()
+{
+    std::vector<ExperimentPoint> points;
+    for (const char *name : {"mcf", "xsbench", "canneal", "spmv"}) {
+        ExperimentPoint p;
+        p.workload = name;
+        p.config = SystemConfig::skylakeScaled();
+        p.refs = kRefs;
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+/** Flatten results to the full tempo-bench-1 document for byte
+ * comparisons (status, failures array and all). */
+std::string
+emitJson(const std::vector<RunResult> &results)
+{
+    std::vector<stats::BenchPoint> points;
+    for (std::size_t i = 0; i < results.size(); ++i)
+        points.push_back(
+            toBenchPoint("p" + std::to_string(i), {}, results[i]));
+    return stats::benchJson("fabric", kRefs, 42, points).dump();
+}
+
+TEST(FabricClaim, ExactlyOneRacingContenderWins)
+{
+    TempDir dir("claim_race");
+    constexpr int kContenders = 8;
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    std::vector<ClaimDir> claims;
+    claims.reserve(kContenders);
+    for (int i = 0; i < kContenders; ++i)
+        claims.emplace_back(dir.path, "w" + std::to_string(i));
+    for (int i = 0; i < kContenders; ++i)
+        threads.emplace_back([&, i] {
+            if (claims[i].tryClaim(0xfeedu))
+                ++winners;
+        });
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(winners.load(), 1);
+    // The claim file names exactly one of the contenders.
+    const std::string owner = claims[0].owner(0xfeedu);
+    EXPECT_EQ(owner.rfind('w', 0), 0u);
+    // Erase + re-contest: claimable again, by anyone.
+    claims[0].remove(0xfeedu);
+    EXPECT_TRUE(claims[3].tryClaim(0xfeedu));
+    EXPECT_EQ(claims[0].owner(0xfeedu), "w3");
+}
+
+TEST(FabricClaim, DigestHexRoundTrips)
+{
+    EXPECT_EQ(fabric::digestHex(0xdeadbeefu), "00000000deadbeef");
+    EXPECT_EQ(fabric::parseDigestHex("00000000deadbeef"), 0xdeadbeefu);
+    EXPECT_THROW(fabric::parseDigestHex("xyz"), std::runtime_error);
+}
+
+TEST(FabricHeartbeat, StalenessIsFileAge)
+{
+    TempDir dir("heartbeat");
+    {
+        Heartbeat hb(dir.path, "w0", 0.05);
+        EXPECT_LT(Heartbeat::ageSec(dir.path, "w0"), 5.0);
+        const auto workers = Heartbeat::listWorkers(dir.path);
+        ASSERT_EQ(workers.size(), 1u);
+        EXPECT_EQ(workers[0], "w0");
+    }
+    // Worker gone: age the heartbeat file artificially and observe the
+    // stale verdict any reclaiming worker would reach.
+    const std::string path = Heartbeat::path(dir.path, "w0");
+    fs::last_write_time(path, fs::last_write_time(path) -
+                                  std::chrono::seconds(3600));
+    EXPECT_GT(Heartbeat::ageSec(dir.path, "w0"), 30.0);
+    // A worker that never wrote a heartbeat reads +infinity.
+    EXPECT_EQ(Heartbeat::ageSec(dir.path, "ghost"),
+              std::numeric_limits<double>::infinity());
+}
+
+TEST(FabricScanner, ConsumesOnlyCompleteLines)
+{
+    TempDir dir("scanner");
+    const RunResult result =
+        runWorkload(SystemConfig::skylakeScaled(), "mcf", kRefs);
+    const std::string lineA = encodeJournalLine(0xa, result);
+    const std::string lineB = encodeJournalLine(0xb, result);
+    const std::string lineC = encodeJournalLine(0xc, result);
+    const std::string shard = dir.path + "/shard_w0.jsonl";
+    {
+        std::ofstream out(shard, std::ios::binary);
+        out << lineA << '\n' << lineB << '\n'
+            << lineC.substr(0, lineC.size() / 2); // torn tail
+    }
+    ShardScanner scanner(dir.path);
+    scanner.poll();
+    EXPECT_EQ(scanner.done().size(), 2u);
+    EXPECT_TRUE(scanner.done().count(0xa));
+    EXPECT_TRUE(scanner.done().count(0xb));
+    // The tail completes (the writer finished its append): the next
+    // poll picks up exactly the new record.
+    {
+        std::ofstream out(shard, std::ios::binary | std::ios::app);
+        out << lineC.substr(lineC.size() / 2) << '\n';
+    }
+    EXPECT_EQ(scanner.poll(), 1u);
+    EXPECT_TRUE(scanner.done().count(0xc));
+    // First record for a digest wins; duplicates are ignored.
+    {
+        std::ofstream out(dir.path + "/shard_w1.jsonl",
+                          std::ios::binary);
+        out << lineA << '\n';
+    }
+    EXPECT_EQ(scanner.poll(), 0u);
+    EXPECT_EQ(scanner.done().size(), 3u);
+}
+
+TEST(FabricManifest, MismatchedSweepIsRejected)
+{
+    TempDir dir("manifest");
+    const std::vector<std::uint64_t> digests{1, 2, 3};
+    fabric::writeManifest(dir.path, "sweep-a", digests);
+    // Idempotent republish of the identical point list is fine.
+    fabric::writeManifest(dir.path, "sweep-a", digests);
+    fabric::Manifest manifest;
+    ASSERT_TRUE(fabric::readManifest(dir.path, manifest));
+    EXPECT_EQ(manifest.sweep, "sweep-a");
+    EXPECT_EQ(manifest.digests, digests);
+    // A different digest list in the same directory must throw.
+    EXPECT_THROW(
+        fabric::writeManifest(dir.path, "sweep-b", {7, 8, 9}),
+        std::runtime_error);
+}
+
+TEST(FabricSnapshot, RoundTripsAndSumsExactly)
+{
+    // Local-mode snapshot: encode via the compact writer, decode via
+    // the parser, re-emit via toJson — bytes must survive, and the
+    // status counts must sum to the point total.
+    fabric::SweepProgress progress;
+    progress.configure("unit", 5, 0);
+    RunResult ok;
+    RunResult bad;
+    bad.status.code = RunStatus::Code::Failed;
+    bad.status.error = "injected";
+    bad.status.digest = 0x77;
+    progress.start(0);
+    progress.done(0, ok, 0.1, true);
+    progress.start(1);
+    progress.done(1, bad, 0.1, true);
+    progress.start(2); // still in flight
+
+    const std::string text = progress.snapshotJson();
+    const stats::JsonValue doc = stats::parseJson(text);
+    EXPECT_EQ(doc.at("schema").asString(), "tempo-fabric-snapshot-1");
+    const std::uint64_t points = doc.at("points").asUint64();
+    EXPECT_EQ(doc.at("ok").asUint64() + doc.at("failed").asUint64() +
+                  doc.at("timed_out").asUint64() +
+                  doc.at("in_flight").asUint64() +
+                  doc.at("pending").asUint64(),
+              points);
+    EXPECT_EQ(points, 5u);
+    EXPECT_EQ(doc.at("ok").asUint64(), 1u);
+    EXPECT_EQ(doc.at("failed").asUint64(), 1u);
+    EXPECT_EQ(doc.at("in_flight").asUint64(), 1u);
+    EXPECT_EQ(doc.at("pending").asUint64(), 2u);
+    const stats::JsonValue &failures = doc.at("failures");
+    ASSERT_EQ(failures.elements.size(), 1u);
+    EXPECT_EQ(failures.elements[0].at("digest").asString(),
+              "0000000000000077");
+    // parse -> toJson -> re-emit reproduces the exact bytes.
+    EXPECT_EQ(stats::toJson(doc).dump(), text);
+}
+
+TEST(FabricSnapshot, DirSnapshotCountsClaimsAndShards)
+{
+    TempDir dir("dirsnap");
+    const RunResult result =
+        runWorkload(SystemConfig::skylakeScaled(), "mcf", kRefs);
+    const std::vector<std::uint64_t> digests{10, 11, 12, 13};
+    fabric::writeManifest(dir.path, "dirsweep", digests);
+    {
+        std::ofstream out(dir.path + "/shard_w0.jsonl",
+                          std::ios::binary);
+        out << encodeJournalLine(10, result) << '\n';
+        RunResult failed = RunResult{};
+        failed.status.code = RunStatus::Code::Failed;
+        failed.status.error = "boom";
+        failed.status.digest = 11;
+        out << encodeJournalLine(11, failed) << '\n';
+    }
+    ClaimDir claims(dir.path, "w0");
+    ASSERT_TRUE(claims.tryClaim(10)); // done: must NOT count in-flight
+    ASSERT_TRUE(claims.tryClaim(12)); // genuinely in flight
+
+    const stats::JsonValue doc = stats::parseJson(
+        fabric::buildDirSnapshotJson(dir.path, 30.0));
+    EXPECT_EQ(doc.at("sweep").asString(), "dirsweep");
+    EXPECT_EQ(doc.at("points").asUint64(), 4u);
+    EXPECT_EQ(doc.at("ok").asUint64(), 1u);
+    EXPECT_EQ(doc.at("failed").asUint64(), 1u);
+    EXPECT_EQ(doc.at("in_flight").asUint64(), 1u);
+    EXPECT_EQ(doc.at("pending").asUint64(), 1u);
+    ASSERT_EQ(doc.at("failures").elements.size(), 1u);
+    EXPECT_EQ(doc.at("failures").elements[0].at("error").asString(),
+              "boom");
+}
+
+TEST(FabricHttp, ServesSnapshotAndDashboard)
+{
+    fabric::HttpServer::Provider provider = [] {
+        return std::string("{\"probe\":1}");
+    };
+    std::unique_ptr<fabric::HttpServer> server;
+    try {
+        server = std::make_unique<fabric::HttpServer>("127.0.0.1", 0,
+                                                      provider);
+    } catch (const std::exception &error) {
+        GTEST_SKIP() << "cannot bind a localhost socket here: "
+                     << error.what();
+    }
+    ASSERT_NE(server->port(), 0);
+
+    auto get = [&](const std::string &target) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(server->port());
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd);
+            return std::string();
+        }
+        const std::string request =
+            "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n";
+        (void)!::send(fd, request.data(), request.size(), 0);
+        std::string response;
+        char buf[4096];
+        ssize_t n;
+        while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+            response.append(buf, static_cast<std::size_t>(n));
+        ::close(fd);
+        return response;
+    };
+
+    const std::string snapshot = get("/snapshot.json");
+    EXPECT_NE(snapshot.find("200 OK"), std::string::npos);
+    EXPECT_NE(snapshot.find("{\"probe\":1}"), std::string::npos);
+    EXPECT_NE(snapshot.find("application/json"), std::string::npos);
+    const std::string dash = get("/");
+    EXPECT_NE(dash.find("200 OK"), std::string::npos);
+    EXPECT_NE(dash.find("<!doctype html>"), std::string::npos);
+    EXPECT_NE(dash.find("snapshot.json"), std::string::npos);
+    const std::string missing = get("/nope");
+    EXPECT_NE(missing.find("404"), std::string::npos);
+    server->stop();
+}
+
+TEST(FabricEndToEnd, TwoWorkersMatchSingleProcessByteForByte)
+{
+    const std::vector<ExperimentPoint> points = sweepPoints();
+
+    ExperimentOptions reference;
+    reference.jobs = 2;
+    const std::string expected =
+        emitJson(runExperiments(points, reference));
+
+    TempDir dir("e2e");
+    auto workerOpts = [&](const char *id) {
+        ExperimentOptions opts;
+        opts.jobs = 1;
+        opts.fabricDir = dir.path;
+        opts.fabricRole = ExperimentOptions::FabricRole::Worker;
+        opts.fabricWorkerId = id;
+        opts.fabricHeartbeatSec = 0.1;
+        return opts;
+    };
+    std::string fromA, fromB;
+    std::thread workerA([&] {
+        fromA = emitJson(runExperiments(points, workerOpts("wA")));
+    });
+    std::thread workerB([&] {
+        fromB = emitJson(runExperiments(points, workerOpts("wB")));
+    });
+    workerA.join();
+    workerB.join();
+    EXPECT_EQ(fromA, expected);
+    EXPECT_EQ(fromB, expected);
+
+    // The work was actually split: between them the workers claimed
+    // every point exactly once (shards partition the digest set)...
+    ShardScanner scanner(dir.path);
+    scanner.poll();
+    EXPECT_EQ(scanner.done().size(), points.size());
+
+    // ...and a late coordinator merges the same bytes from the shards
+    // alone, running nothing.
+    ExperimentOptions coord;
+    coord.fabricDir = dir.path;
+    coord.fabricRole = ExperimentOptions::FabricRole::Coordinator;
+    EXPECT_EQ(emitJson(runExperiments(points, coord)), expected);
+}
+
+TEST(FabricEndToEnd, DeterministicFailuresMergeIdentically)
+{
+    std::vector<ExperimentPoint> points = sweepPoints();
+
+    ExperimentOptions reference;
+    reference.jobs = 2;
+    reference.inject = {{1, FaultInjection::Kind::Throw}};
+    const std::string expected =
+        emitJson(runExperiments(points, reference));
+
+    TempDir dir("e2e_fail");
+    auto workerOpts = [&](const char *id) {
+        ExperimentOptions opts;
+        opts.jobs = 1;
+        opts.fabricDir = dir.path;
+        opts.fabricRole = ExperimentOptions::FabricRole::Worker;
+        opts.fabricWorkerId = id;
+        opts.fabricHeartbeatSec = 0.1;
+        // Every worker injects the same deterministic fault, exactly
+        // as every process of a real sweep shares TEMPO_FAULT_INJECT.
+        opts.inject = {{1, FaultInjection::Kind::Throw}};
+        return opts;
+    };
+    std::string fromA, fromB;
+    std::thread workerA([&] {
+        fromA = emitJson(runExperiments(points, workerOpts("wA")));
+    });
+    std::thread workerB([&] {
+        fromB = emitJson(runExperiments(points, workerOpts("wB")));
+    });
+    workerA.join();
+    workerB.join();
+    // Failures ARE journaled in fabric shards (unlike the resume
+    // journal), so the merged output carries the failure row and still
+    // matches the single-process bytes.
+    EXPECT_EQ(fromA, expected);
+    EXPECT_EQ(fromB, expected);
+    EXPECT_NE(expected.find("\"failed\""), std::string::npos);
+}
+
+TEST(FabricEndToEnd, RestartedWorkerReclaimsItsOwnStaleClaim)
+{
+    // A worker that died holding a claim and restarts under the same
+    // id must not deadlock on its own stale claim.
+    const std::vector<ExperimentPoint> points = sweepPoints();
+    TempDir dir("restart");
+    std::vector<std::uint64_t> digests;
+    for (std::size_t i = 0; i < points.size(); ++i)
+        digests.push_back(pointDigest(points[i], i));
+    ClaimDir claims(dir.path, "wA");
+    ASSERT_TRUE(claims.tryClaim(digests[0]));
+    ASSERT_TRUE(claims.tryClaim(digests[2]));
+
+    ExperimentOptions opts;
+    opts.jobs = 1;
+    opts.fabricDir = dir.path;
+    opts.fabricRole = ExperimentOptions::FabricRole::Worker;
+    opts.fabricWorkerId = "wA";
+    opts.fabricHeartbeatSec = 0.1;
+    const std::vector<RunResult> results =
+        runExperiments(points, opts);
+    for (const RunResult &result : results)
+        EXPECT_TRUE(result.status.ok());
+}
+
+} // namespace
+} // namespace tempo

@@ -19,6 +19,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -27,6 +28,8 @@
 #include "cli/strings.hh"
 #include "common/profiler.hh"
 #include "core/experiment.hh"
+#include "fabric/http.hh"
+#include "fabric/snapshot.hh"
 #include "obs/obs.hh"
 
 namespace {
@@ -49,6 +52,9 @@ struct SweepArgs {
     bool compare = false;
     bool profile = false;
     bool referenceTranslator = false;
+    unsigned progressEvery = 0;
+    bool serve = false;
+    std::string serveAddr; //!< "" = 127.0.0.1:8377
 };
 
 [[noreturn]] void
@@ -60,6 +66,7 @@ usage(int status)
         "  [--jobs N] [--shards N] [--json PATH] [--profile]\n"
         "  [--reference-translator]\n"
         "  [--retries N] [--point-timeout S] [--checkpoint PATH]\n"
+        "  [--progress [N]] [--serve [ADDR:PORT]]\n"
         "  [--tempo | --compare]\n"
         "Keys are the INI config keys (src/cli/config_file.hh),\n"
         "e.g. dram.row_policy, mc.pt_row_hold, vm.frag.\n"
@@ -68,7 +75,17 @@ usage(int status)
         "A failing or timed-out point does not kill the sweep: its row\n"
         "shows the status, details go to stderr and the JSON failures\n"
         "array, and --checkpoint lets a killed sweep resume without\n"
-        "re-running finished points. Exit status: 0 when at least one\n"
+        "re-running finished points.\n"
+        "--progress [N] prints a stderr line (done/failed/total,\n"
+        "elapsed, ETA) every N completed points (default 10).\n"
+        "--serve [ADDR:PORT] starts an embedded HTTP status server\n"
+        "(default 127.0.0.1:8377, port 0 = ephemeral): / is a live\n"
+        "dashboard, /snapshot.json the machine-readable snapshot.\n"
+        "Scale-out: with TEMPO_FABRIC_DIR/TEMPO_FABRIC_ROLE set (see\n"
+        "EXPERIMENTS.md \"Fabric sweeps\"), several worker processes\n"
+        "share one sweep; --serve then reports the whole fabric (and\n"
+        "implies the coordinator role when none is set).\n"
+        "Exit status: 0 when at least one\n"
         "point succeeded, 3 when all failed, 2 on usage errors.\n",
         status == 0 ? stdout : stderr);
     std::exit(status);
@@ -116,6 +133,22 @@ parseArgs(int argc, char **argv)
             args.compare = true;
         else if (arg == "--profile")
             args.profile = true;
+        else if (arg == "--progress") {
+            // Optional period: consume the next token only when it is
+            // a number (so "--progress --serve" parses).
+            args.progressEvery = 10;
+            if (i + 1 < argc && argv[i + 1][0] != '\0' &&
+                std::string(argv[i + 1]).find_first_not_of(
+                    "0123456789") == std::string::npos)
+                args.progressEvery = static_cast<unsigned>(
+                    std::strtoul(next().c_str(), nullptr, 10));
+            if (args.progressEvery == 0)
+                args.progressEvery = 10;
+        } else if (arg == "--serve") {
+            args.serve = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                args.serveAddr = next();
+        }
         else if (arg == "--reference-translator")
             args.referenceTranslator = true;
         else if (arg == "--help" || arg == "-h")
@@ -211,6 +244,47 @@ main(int argc, char **argv)
     if (opts.shards.value_or(0) > 0) {
         for (auto &pairs : overrides)
             pairs.emplace_back("shards", "2");
+    }
+
+    if (args.progressEvery)
+        opts.progressEvery = args.progressEvery;
+    opts.progressLabel = args.workload + ":" + args.key;
+
+    // --serve: embedded status server. With a fabric directory the
+    // snapshot merges the whole directory (and absent an explicit
+    // role, this process supervises as the coordinator); without one
+    // it reports this process's own progress tracker.
+    fabric::SweepProgress progress;
+    std::unique_ptr<fabric::HttpServer> server;
+    if (args.serve) {
+        if (!opts.fabricDir.empty() &&
+            opts.fabricRole == ExperimentOptions::FabricRole::None)
+            opts.fabricRole =
+                ExperimentOptions::FabricRole::Coordinator;
+        opts.progress = &progress;
+        try {
+            const auto [host, port] =
+                cli::splitHostPort(args.serveAddr, "127.0.0.1", 8377);
+            fabric::HttpServer::Provider provider;
+            if (!opts.fabricDir.empty()) {
+                const std::string dir = opts.fabricDir;
+                const double stale = opts.fabricStaleSec;
+                provider = [dir, stale] {
+                    return fabric::buildDirSnapshotJson(dir, stale);
+                };
+            } else {
+                provider = [&progress] {
+                    return progress.snapshotJson();
+                };
+            }
+            server = std::make_unique<fabric::HttpServer>(
+                host, port, std::move(provider));
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "error: %s\n", error.what());
+            return 2;
+        }
+        std::fprintf(stderr, "serving http://%s:%u/\n",
+                     server->host().c_str(), server->port());
     }
 
     std::vector<RunResult> results;
