@@ -1,0 +1,373 @@
+/**
+ * @file
+ * perf_cache: lookups/sec of the packed tag-array core
+ * (cache/tag_array.hh) vs the retained linear-scan reference, over
+ * identical address streams on the simulator's own geometries:
+ *
+ *   L1D  32KB/8, L2 128KB/8, LLC 512KB/16 (SetAssocCache), the STLB
+ *   1536-entry/12-way and MMU-cache 32-entry/4-way arrays (AssocArray).
+ *
+ *   perf_cache [--ops N]
+ *
+ * Each trial drives both implementations through the same mix of
+ * lookups, dirty installs, and invalidates, folding every observable
+ * (hit/miss bit, victim address, victim dirtiness) into a checksum.
+ * A checksum mismatch means the packed path diverged from the
+ * reference hit/miss/victim sequence and the run exits non-zero, so
+ * the CI perf-smoke job doubles as an equivalence check. Output is
+ * plain text plus a final geomean speedup line.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "cache/set_assoc.hh"
+#include "cache/tag_array.hh"
+#include "common/rng.hh"
+#include "vm/assoc_array.hh"
+
+namespace {
+
+using namespace tempo;
+
+struct TrialResult {
+    double rate = 0;         //!< lookups (accesses) per second
+    std::uint64_t check = 0; //!< folded hit/victim observables
+};
+
+std::uint64_t
+fold(std::uint64_t check, std::uint64_t value)
+{
+    return (check ^ value) * 0x9e3779b97f4a7c15ULL;
+}
+
+/**
+ * One access stream reused by both implementations, shaped like the
+ * simulator's demand traffic: half the accesses continue a sequential
+ * walk (spatial locality — consecutive lines, so consecutive probes
+ * mostly share a 4KB page), the rest jump, skewed so ~60% of jumps
+ * land in a hot working set about half the cache's capacity (hits
+ * dominate, as on the demand path) while the cold tail forces steady
+ * evictions.
+ */
+std::vector<Addr>
+makeStream(Addr capacity_lines, std::uint64_t seed)
+{
+    constexpr std::size_t kStream = 1u << 18;
+    Rng rng(seed);
+    const Addr hot = capacity_lines / 2 + 1;
+    const Addr all = capacity_lines * 8 + 1;
+    std::vector<Addr> stream;
+    stream.reserve(kStream);
+    Addr line = 0;
+    for (std::size_t i = 0; i < kStream; ++i) {
+        if (rng.chance(0.5))
+            line = (line + 1) % all; // sequential walk
+        else
+            line = rng.chance(0.6) ? rng.below(hot) : rng.below(all);
+        stream.push_back(line * kLineBytes);
+    }
+    return stream;
+}
+
+CacheConfig
+configFor(bool reference)
+{
+    CacheConfig cfg;
+    cfg.useReferenceCache = reference;
+    return cfg;
+}
+
+/** Mixed lookup/install/invalidate loop over a SetAssocCache. The op
+ * mix is position-derived (identical for both paths) — roughly 3/4
+ * lookups with fill-on-miss, plus dirty installs and invalidates. */
+TrialResult
+runSetAssoc(SetAssocCache &cache, const std::vector<Addr> &stream,
+            std::uint64_t ops)
+{
+    TrialResult result;
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t pos = 0;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        const Addr addr = stream[pos];
+        pos = (pos + 1 == stream.size()) ? 0 : pos + 1;
+        switch (i & 0x7) {
+          case 6: { // dirty install (a store's fill)
+            const auto victim = cache.insertTracked(addr, true);
+            result.check = fold(result.check,
+                                victim.addr + (victim.dirty ? 1 : 0));
+            break;
+          }
+          case 7: // invalidate; the return is the dropped-dirty bit
+            result.check =
+                fold(result.check, cache.invalidate(addr) ? 3 : 2);
+            break;
+          default: // demand lookup, clean fill on miss
+            if (cache.lookup(addr)) {
+                result.check = fold(result.check, 1);
+            } else {
+                const auto victim = cache.insertTracked(addr, false);
+                result.check =
+                    fold(result.check,
+                         victim.addr + (victim.dirty ? 1 : 0));
+            }
+            break;
+        }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(stop - start).count();
+    result.rate = static_cast<double>(ops) / secs;
+    // Final counters join the checksum: stats must match too.
+    result.check = fold(result.check, cache.hits());
+    result.check = fold(result.check, cache.misses());
+    return result;
+}
+
+/** Same shape for the generic AssocArray (TLB/MMU-cache geometries):
+ * lookups with insert-on-miss plus occasional invalidates. Keys are
+ * page numbers, as on the simulator's translation path — the stream's
+ * sequential component repeats the same page across consecutive
+ * probes, the locality every TLB is built around. */
+TrialResult
+runAssocArray(AssocArray<std::uint32_t> &arr,
+              const std::vector<Addr> &stream, std::uint64_t ops)
+{
+    TrialResult result;
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t pos = 0;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        const std::uint64_t key = stream[pos] >> 12;
+        pos = (pos + 1 == stream.size()) ? 0 : pos + 1;
+        if ((i & 0xf) == 15) {
+            arr.invalidate(key);
+            result.check = fold(result.check, 2);
+            continue;
+        }
+        if (const std::uint32_t *payload = arr.lookup(key)) {
+            result.check = fold(result.check, *payload + 1);
+        } else {
+            arr.insert(key, static_cast<std::uint32_t>(key * 31));
+            result.check = fold(result.check, 0);
+        }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(stop - start).count();
+    result.rate = static_cast<double>(ops) / secs;
+    result.check = fold(result.check, arr.hits());
+    result.check = fold(result.check, arr.misses());
+    return result;
+}
+
+/**
+ * Simulator-shaped aggregate trial: @p cores private L1/L2/STLB/MMU
+ * arrays plus one shared LLC, probed round-robin the way the demand
+ * path does (STLB -> MMU cache on TLB miss, then L1 -> L2 -> LLC with
+ * fill-on-miss). Unlike the single-structure loops above, the combined
+ * metadata footprint far exceeds the host L1/L2, so this measures what
+ * the simulator actually pays per access: host cache lines touched.
+ */
+TrialResult
+runAggregate(unsigned cores, bool reference,
+             const std::vector<Addr> &stream, std::uint64_t ops)
+{
+    const CacheConfig cfg = configFor(reference);
+    std::vector<SetAssocCache> l1s, l2s;
+    std::vector<AssocArray<std::uint32_t>> stlbs, mmus;
+    for (unsigned c = 0; c < cores; ++c) {
+        l1s.emplace_back(Addr{32 * 1024}, 8, cfg);
+        l2s.emplace_back(Addr{128 * 1024}, 8, cfg);
+        stlbs.emplace_back(1536u, 12u, cfg);
+        mmus.emplace_back(32u, 4u, cfg);
+    }
+    SetAssocCache llc(Addr{512 * 1024}, 16, cfg);
+
+    TrialResult result;
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t pos = 0;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        const unsigned c = static_cast<unsigned>(i % cores);
+        // Per-core address offset so private working sets differ.
+        const Addr addr = stream[pos] + (static_cast<Addr>(c) << 30);
+        pos = (pos + 1 == stream.size()) ? 0 : pos + 1;
+
+        // Translation first: STLB probe, MMU-cache consult on miss.
+        const std::uint64_t vpn = addr >> 12;
+        if (const std::uint32_t *pte = stlbs[c].lookup(vpn)) {
+            result.check = fold(result.check, *pte + 1);
+        } else {
+            if (const std::uint32_t *mc = mmus[c].lookup(vpn >> 9))
+                result.check = fold(result.check, *mc + 2);
+            else
+                mmus[c].insert(vpn >> 9,
+                               static_cast<std::uint32_t>(vpn * 7));
+            stlbs[c].insert(vpn, static_cast<std::uint32_t>(vpn * 31));
+        }
+
+        // Data side: L1 -> L2 -> LLC with fill-on-miss at each level.
+        if (l1s[c].lookup(addr)) {
+            result.check = fold(result.check, 1);
+            continue;
+        }
+        if (!l2s[c].lookup(addr) && !llc.lookup(addr)) {
+            const auto victim = llc.insertTracked(addr, (i & 1) != 0);
+            result.check =
+                fold(result.check,
+                     victim.addr + (victim.dirty ? 1 : 0));
+        }
+        const auto v2 = l2s[c].insertTracked(addr, false);
+        result.check = fold(result.check, v2.addr);
+        const auto v1 = l1s[c].insertTracked(addr, (i & 3) == 3);
+        result.check =
+            fold(result.check, v1.addr + (v1.dirty ? 1 : 0));
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(stop - start).count();
+    result.rate = static_cast<double>(ops) / secs;
+    for (unsigned c = 0; c < cores; ++c) {
+        result.check = fold(result.check, l1s[c].hits());
+        result.check = fold(result.check, l2s[c].misses());
+        result.check = fold(result.check, stlbs[c].hits());
+        result.check = fold(result.check, mmus[c].misses());
+    }
+    result.check = fold(result.check, llc.hits());
+    result.check = fold(result.check, llc.misses());
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t ops = 8000000;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+            ops = std::strtoull(argv[++i], nullptr, 10);
+            if (ops == 0) {
+                std::fprintf(stderr,
+                             "error: --ops needs a positive count, "
+                             "got '%s'\n", argv[i]);
+                return 2;
+            }
+        }
+    }
+
+    bool diverged = false;
+    double geomean = 1.0;
+    std::size_t trials = 0;
+
+    std::printf("%-14s %16s %16s %9s\n", "geometry", "ref lookups/s",
+                "packed lookups/s", "speedup");
+
+    struct CacheRow {
+        const char *name;
+        Addr sizeBytes;
+        unsigned assoc;
+    };
+    static const CacheRow cache_rows[] = {
+        {"l1-32k/8", 32 * 1024, 8},
+        {"l2-128k/8", 128 * 1024, 8},
+        {"llc-512k/16", 512 * 1024, 16},
+    };
+    std::uint64_t seed = 0xcafe01;
+    for (const CacheRow &row : cache_rows) {
+        const std::vector<Addr> stream =
+            makeStream(row.sizeBytes / kLineBytes, seed++);
+        SetAssocCache ref(row.sizeBytes, row.assoc, configFor(true));
+        SetAssocCache packed(row.sizeBytes, row.assoc,
+                             configFor(false));
+        const TrialResult a = runSetAssoc(ref, stream, ops);
+        const TrialResult b = runSetAssoc(packed, stream, ops);
+        if (a.check != b.check) {
+            std::fprintf(
+                stderr,
+                "FAIL: divergence on %s (ref %016llx vs packed "
+                "%016llx)\n", row.name,
+                static_cast<unsigned long long>(a.check),
+                static_cast<unsigned long long>(b.check));
+            diverged = true;
+        }
+        const double speedup = b.rate / a.rate;
+        geomean *= speedup;
+        ++trials;
+        std::printf("%-14s %16.0f %16.0f %8.2fx\n", row.name, a.rate,
+                    b.rate, speedup);
+    }
+
+    struct ArrayRow {
+        const char *name;
+        unsigned entries;
+        unsigned assoc;
+    };
+    static const ArrayRow array_rows[] = {
+        {"stlb-1536/12", 1536, 12},
+        {"mmu-32/4", 32, 4},
+    };
+    for (const ArrayRow &row : array_rows) {
+        // 64 lines per 4KB page: size the stream so the page-granular
+        // working set matches the array's capacity.
+        const std::vector<Addr> stream =
+            makeStream(static_cast<Addr>(row.entries) * 64, seed++);
+        AssocArray<std::uint32_t> ref(row.entries, row.assoc,
+                                      configFor(true));
+        AssocArray<std::uint32_t> packed(row.entries, row.assoc,
+                                         configFor(false));
+        const TrialResult a = runAssocArray(ref, stream, ops);
+        const TrialResult b = runAssocArray(packed, stream, ops);
+        if (a.check != b.check) {
+            std::fprintf(
+                stderr,
+                "FAIL: divergence on %s (ref %016llx vs packed "
+                "%016llx)\n", row.name,
+                static_cast<unsigned long long>(a.check),
+                static_cast<unsigned long long>(b.check));
+            diverged = true;
+        }
+        const double speedup = b.rate / a.rate;
+        geomean *= speedup;
+        ++trials;
+        std::printf("%-14s %16.0f %16.0f %8.2fx\n", row.name, a.rate,
+                    b.rate, speedup);
+    }
+
+    {
+        // Aggregate rows: the LLC-capacity stream gives every level
+        // real traffic (L1/L2 miss; LLC mostly-hit with evictions).
+        const std::vector<Addr> stream =
+            makeStream(Addr{512 * 1024} / kLineBytes, seed++);
+        static const unsigned core_counts[] = {4, 8};
+        for (const unsigned cores : core_counts) {
+            char name[32];
+            std::snprintf(name, sizeof(name), "agg-%ucore", cores);
+            const TrialResult a =
+                runAggregate(cores, true, stream, ops);
+            const TrialResult b =
+                runAggregate(cores, false, stream, ops);
+            if (a.check != b.check) {
+                std::fprintf(
+                    stderr,
+                    "FAIL: divergence on %s (ref %016llx vs packed "
+                    "%016llx)\n", name,
+                    static_cast<unsigned long long>(a.check),
+                    static_cast<unsigned long long>(b.check));
+                diverged = true;
+            }
+            const double speedup = b.rate / a.rate;
+            geomean *= speedup;
+            ++trials;
+            std::printf("%-14s %16.0f %16.0f %8.2fx\n", name, a.rate,
+                        b.rate, speedup);
+        }
+    }
+
+    geomean = std::pow(geomean, 1.0 / static_cast<double>(trials));
+    std::printf("geomean speedup: %.2fx\n", geomean);
+    return diverged ? 1 : 0;
+}

@@ -1,17 +1,20 @@
 #include "cache/hierarchy.hh"
 
 #include "common/log.hh"
+#include "common/profiler.hh"
 
 namespace tempo {
 
-SharedLlc::SharedLlc(const CacheLevelConfig &cfg)
-    : cache_(cfg.sizeBytes, cfg.assoc), latency_(cfg.latency)
+SharedLlc::SharedLlc(const CacheLevelConfig &cfg,
+                     const CacheConfig &impl)
+    : cache_(cfg.sizeBytes, cfg.assoc, impl), latency_(cfg.latency)
 {
 }
 
 Addr
 SharedLlc::prefetchFill(Addr addr)
 {
+    prof::Scope scope(prof::Component::Cache);
     const SetAssocCache::Victim victim =
         cache_.insertTracked(lineAddr(addr), false);
     ++prefetchFills_;
@@ -19,9 +22,9 @@ SharedLlc::prefetchFill(Addr addr)
 }
 
 CacheHierarchy::CacheHierarchy(const CacheHierarchyConfig &cfg,
-                               SharedLlc *llc)
-    : cfg_(cfg), l1_(cfg.l1.sizeBytes, cfg.l1.assoc),
-      l2_(cfg.l2.sizeBytes, cfg.l2.assoc), llc_(llc)
+                               SharedLlc *llc, const CacheConfig &impl)
+    : cfg_(cfg), l1_(cfg.l1.sizeBytes, cfg.l1.assoc, impl),
+      l2_(cfg.l2.sizeBytes, cfg.l2.assoc, impl), llc_(llc)
 {
     TEMPO_ASSERT(llc_, "hierarchy needs a shared LLC");
 }
@@ -38,6 +41,7 @@ CacheHierarchy::propagateVictim(const SetAssocCache::Victim &victim)
 CacheOutcome
 CacheHierarchy::access(Addr addr, bool is_write)
 {
+    prof::Scope scope(prof::Component::Cache);
     const Addr line = lineAddr(addr);
     Cycle latency = cfg_.l1.latency;
     if (l1_.lookup(line)) {
@@ -69,6 +73,7 @@ CacheHierarchy::access(Addr addr, bool is_write)
 Addr
 CacheHierarchy::fill(Addr addr, bool is_write)
 {
+    prof::Scope scope(prof::Component::Cache);
     const Addr line = lineAddr(addr);
     const SetAssocCache::Victim llc_victim =
         llc_->cache().insertTracked(line, is_write);
@@ -80,6 +85,7 @@ CacheHierarchy::fill(Addr addr, bool is_write)
 void
 CacheHierarchy::fillPrivate(Addr addr)
 {
+    prof::Scope scope(prof::Component::Cache);
     const Addr line = lineAddr(addr);
     propagateVictim(l2_.insertTracked(line, false));
     propagateVictim(l1_.insertTracked(line, false));
@@ -101,6 +107,7 @@ CacheOutcome
 CacheHierarchy::accessPrivate(Addr addr, bool is_write,
                               std::vector<Addr> &dirty_victims)
 {
+    prof::Scope scope(prof::Component::Cache);
     const Addr line = lineAddr(addr);
     Cycle latency = cfg_.l1.latency;
     if (l1_.lookup(line)) {
@@ -125,6 +132,7 @@ void
 CacheHierarchy::fillPrivateCollect(Addr addr, bool is_write,
                                    std::vector<Addr> &dirty_victims)
 {
+    prof::Scope scope(prof::Component::Cache);
     const Addr line = lineAddr(addr);
     collectVictim(l2_.insertTracked(line, is_write), dirty_victims);
     collectVictim(l1_.insertTracked(line, is_write), dirty_victims);

@@ -60,7 +60,8 @@ struct CacheOutcome {
 class SharedLlc
 {
   public:
-    explicit SharedLlc(const CacheLevelConfig &cfg);
+    explicit SharedLlc(const CacheLevelConfig &cfg,
+                       const CacheConfig &impl = {});
 
     SetAssocCache &cache() { return cache_; }
     const SetAssocCache &cache() const { return cache_; }
@@ -94,7 +95,8 @@ class SharedLlc
 class CacheHierarchy
 {
   public:
-    CacheHierarchy(const CacheHierarchyConfig &cfg, SharedLlc *llc);
+    CacheHierarchy(const CacheHierarchyConfig &cfg, SharedLlc *llc,
+                   const CacheConfig &impl = {});
 
     /**
      * Demand access. Walks L1 -> L2 -> LLC; on a full miss the returned

@@ -4,7 +4,13 @@
 
 namespace tempo {
 
-SetAssocCache::SetAssocCache(Addr size_bytes, unsigned assoc)
+namespace {
+constexpr unsigned kLineShift = 6;
+static_assert(kLineBytes == (Addr{1} << kLineShift));
+} // namespace
+
+SetAssocCache::SetAssocCache(Addr size_bytes, unsigned assoc,
+                             const CacheConfig &impl)
     : sizeBytes_(size_bytes), assoc_(assoc)
 {
     TEMPO_ASSERT(assoc > 0, "associativity must be positive");
@@ -13,23 +19,146 @@ SetAssocCache::SetAssocCache(Addr size_bytes, unsigned assoc)
     numSets_ = static_cast<unsigned>(lines / assoc);
     TEMPO_ASSERT(isPow2(numSets_), "set count must be a power of two: ",
                  numSets_);
-    lines_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+    setShift_ = log2Exact(numSets_);
+    useRef_ = impl.useReferenceCache || envReferenceCache()
+              || !TagArray::packable(numSets_, assoc_);
+    if (useRef_) {
+        lines_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+    } else {
+        tags_ = TagArray(numSets_, assoc_);
+    }
 }
 
 unsigned
 SetAssocCache::setIndex(Addr addr) const
 {
-    return static_cast<unsigned>((addr / kLineBytes) & (numSets_ - 1));
+    return static_cast<unsigned>((addr >> kLineShift)
+                                 & (numSets_ - 1));
 }
 
 Addr
 SetAssocCache::tagOf(Addr addr) const
 {
-    return (addr / kLineBytes) / numSets_;
+    return (addr >> kLineShift) >> setShift_;
 }
 
 bool
 SetAssocCache::lookup(Addr addr)
+{
+    if (useRef_)
+        return refLookup(addr);
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const int way = tags_.find(set, tag);
+    if (way >= 0) {
+        tags_.promote(set, static_cast<unsigned>(way), tag);
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    if (useRef_)
+        return refContains(addr);
+    return tags_.find(setIndex(addr), tagOf(addr)) >= 0;
+}
+
+Addr
+SetAssocCache::insert(Addr addr)
+{
+    return insertTracked(addr, false).addr;
+}
+
+SetAssocCache::Victim
+SetAssocCache::insertTracked(Addr addr, bool dirty)
+{
+    if (useRef_)
+        return refInsertTracked(addr, dirty);
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const int hit = tags_.find(set, tag);
+    if (hit >= 0) { // already present: refresh
+        tags_.promote(set, static_cast<unsigned>(hit), tag);
+        if (dirty)
+            tags_.markDirtyWay(set, static_cast<unsigned>(hit));
+        return Victim{};
+    }
+    const unsigned way = tags_.victimWay(set);
+    Victim evicted;
+    if (tags_.validWay(set, way)) {
+        evicted.addr = ((tags_.tagOfWay(set, way) << setShift_) | set)
+                       << kLineShift;
+        evicted.dirty = tags_.dirtyWay(set, way);
+    }
+    tags_.install(set, way, tag, dirty);
+    return evicted;
+}
+
+bool
+SetAssocCache::markDirty(Addr addr)
+{
+    if (useRef_)
+        return refMarkDirty(addr);
+    const unsigned set = setIndex(addr);
+    const int way = tags_.find(set, tagOf(addr));
+    if (way < 0)
+        return false;
+    tags_.markDirtyWay(set, static_cast<unsigned>(way));
+    return true;
+}
+
+bool
+SetAssocCache::isDirty(Addr addr) const
+{
+    if (useRef_)
+        return refIsDirty(addr);
+    const unsigned set = setIndex(addr);
+    const int way = tags_.find(set, tagOf(addr));
+    return way >= 0 && tags_.dirtyWay(set, static_cast<unsigned>(way));
+}
+
+bool
+SetAssocCache::invalidate(Addr addr)
+{
+    if (useRef_)
+        return refInvalidate(addr);
+    const unsigned set = setIndex(addr);
+    const int way = tags_.find(set, tagOf(addr));
+    if (way < 0)
+        return false;
+    return tags_.invalidateWay(set, static_cast<unsigned>(way));
+}
+
+void
+SetAssocCache::resetStats()
+{
+    hits_ = 0;
+    misses_ = 0;
+}
+
+void
+SetAssocCache::reset()
+{
+    if (useRef_) {
+        for (auto &line : lines_)
+            line.valid = false;
+        tick_ = 0;
+    } else {
+        tags_.reset();
+    }
+    hits_ = 0;
+    misses_ = 0;
+}
+
+// --- Reference path (the pre-packed implementation, kept verbatim as
+// the differential-testing oracle) ---
+
+bool
+SetAssocCache::refLookup(Addr addr)
 {
     const unsigned set = setIndex(addr);
     const Addr tag = tagOf(addr);
@@ -46,7 +175,7 @@ SetAssocCache::lookup(Addr addr)
 }
 
 bool
-SetAssocCache::contains(Addr addr) const
+SetAssocCache::refContains(Addr addr) const
 {
     const unsigned set = setIndex(addr);
     const Addr tag = tagOf(addr);
@@ -59,14 +188,8 @@ SetAssocCache::contains(Addr addr) const
     return false;
 }
 
-Addr
-SetAssocCache::insert(Addr addr)
-{
-    return insertTracked(addr, false).addr;
-}
-
 SetAssocCache::Victim
-SetAssocCache::insertTracked(Addr addr, bool dirty)
+SetAssocCache::refInsertTracked(Addr addr, bool dirty)
 {
     const unsigned set = setIndex(addr);
     const Addr tag = tagOf(addr);
@@ -96,7 +219,7 @@ SetAssocCache::insertTracked(Addr addr, bool dirty)
 }
 
 bool
-SetAssocCache::markDirty(Addr addr)
+SetAssocCache::refMarkDirty(Addr addr)
 {
     const unsigned set = setIndex(addr);
     const Addr tag = tagOf(addr);
@@ -111,7 +234,7 @@ SetAssocCache::markDirty(Addr addr)
 }
 
 bool
-SetAssocCache::isDirty(Addr addr) const
+SetAssocCache::refIsDirty(Addr addr) const
 {
     const unsigned set = setIndex(addr);
     const Addr tag = tagOf(addr);
@@ -124,8 +247,8 @@ SetAssocCache::isDirty(Addr addr) const
     return false;
 }
 
-void
-SetAssocCache::invalidate(Addr addr)
+bool
+SetAssocCache::refInvalidate(Addr addr)
 {
     const unsigned set = setIndex(addr);
     const Addr tag = tagOf(addr);
@@ -133,26 +256,10 @@ SetAssocCache::invalidate(Addr addr)
         Line &line = lines_[static_cast<std::size_t>(set) * assoc_ + w];
         if (line.valid && line.tag == tag) {
             line.valid = false;
-            return;
+            return line.dirty;
         }
     }
-}
-
-void
-SetAssocCache::resetStats()
-{
-    hits_ = 0;
-    misses_ = 0;
-}
-
-void
-SetAssocCache::reset()
-{
-    for (auto &line : lines_)
-        line.valid = false;
-    tick_ = 0;
-    hits_ = 0;
-    misses_ = 0;
+    return false;
 }
 
 } // namespace tempo

@@ -4,6 +4,12 @@
  *
  * The simulator only needs hit/miss behaviour and victim selection — data
  * contents are never materialized. Timing is the caller's business.
+ *
+ * Two implementations share this interface (cache/tag_array.hh): the
+ * packed tag-array fast path (default) and the retained linear-scan
+ * reference oracle (CacheConfig::useReferenceCache or the
+ * TEMPO_REFERENCE_CACHE env var). Hit/miss/victim sequences are
+ * identical by construction; only the lookup cost differs.
  */
 
 #ifndef TEMPO_CACHE_SET_ASSOC_HH
@@ -12,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cache/tag_array.hh"
 #include "common/types.hh"
 
 namespace tempo {
@@ -22,8 +29,12 @@ class SetAssocCache
     /**
      * @param size_bytes total capacity (power of two)
      * @param assoc ways per set
+     * @param impl packed vs reference selection (geometry the packed
+     *        path cannot encode — more than TagArray::kMaxWays ways —
+     *        falls back to the reference path automatically)
      */
-    SetAssocCache(Addr size_bytes, unsigned assoc);
+    SetAssocCache(Addr size_bytes, unsigned assoc,
+                  const CacheConfig &impl = {});
 
     /** Outcome of insertTracked(): the evicted victim, if any. */
     struct Victim {
@@ -53,8 +64,13 @@ class SetAssocCache
      * kInvalidAddr if none) and whether it was dirty. */
     Victim insertTracked(Addr addr, bool dirty);
 
-    /** Remove the line holding @p addr if present. */
-    void invalidate(Addr addr);
+    /**
+     * Remove the line holding @p addr if present.
+     * @return true iff the line was present AND dirty — i.e. its
+     *         writeback is being dropped and the caller must issue it
+     *         (or consciously discard it).
+     */
+    bool invalidate(Addr addr);
 
     /** Drop all contents. */
     void reset();
@@ -65,6 +81,7 @@ class SetAssocCache
     Addr sizeBytes() const { return sizeBytes_; }
     unsigned assoc() const { return assoc_; }
     unsigned numSets() const { return numSets_; }
+    bool usingReference() const { return useRef_; }
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
@@ -78,6 +95,8 @@ class SetAssocCache
     }
 
   private:
+    /** Reference-path line state (array-of-structs, true LRU via a
+     * global tick counter); unused on the packed path. */
     struct Line {
         bool valid = false;
         bool dirty = false;
@@ -88,11 +107,23 @@ class SetAssocCache
     unsigned setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
 
+    bool refLookup(Addr addr);
+    bool refMarkDirty(Addr addr);
+    bool refIsDirty(Addr addr) const;
+    bool refContains(Addr addr) const;
+    Victim refInsertTracked(Addr addr, bool dirty);
+    bool refInvalidate(Addr addr);
+
     Addr sizeBytes_;
     unsigned assoc_;
     unsigned numSets_;
-    std::vector<Line> lines_;
-    std::uint64_t tick_ = 0;
+    unsigned setShift_ = 0; //!< log2(numSets_)
+    bool useRef_ = false;
+
+    TagArray tags_;           //!< packed path
+    std::vector<Line> lines_; //!< reference path
+    std::uint64_t tick_ = 0;  //!< reference path LRU clock
+
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };

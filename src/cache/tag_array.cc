@@ -1,0 +1,15 @@
+#include "cache/tag_array.hh"
+
+#include <cstdlib>
+
+namespace tempo {
+
+bool
+envReferenceCache()
+{
+    const char *v = std::getenv("TEMPO_REFERENCE_CACHE");
+    return v != nullptr && v[0] != '\0'
+        && !(v[0] == '0' && v[1] == '\0');
+}
+
+} // namespace tempo

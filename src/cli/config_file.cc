@@ -81,6 +81,8 @@ applyKey(int line_no, SystemConfig &cfg, const std::string &section,
         else if (key == "llc_bytes") cfg.caches.llc.sizeBytes = u();
         else if (key == "llc_assoc") cfg.caches.llc.assoc = u();
         else if (key == "llc_latency") cfg.caches.llc.latency = u();
+        else if (key == "reference_cache")
+            cfg.cache.useReferenceCache = b();
         else bad(line_no, "unknown [caches] key '" + key + "'");
     } else if (section == "tlb") {
         if (key == "l1_entries_4k") cfg.tlb.l1Entries4K = u();

@@ -109,6 +109,10 @@ usage()
         "                      unmemoized functional walk (also via\n"
         "                      TEMPO_REFERENCE_TRANSLATOR=1); results\n"
         "                      are bit-identical, only slower\n"
+        "  --reference-cache   run cache/TLB tag arrays on the\n"
+        "                      linear-scan reference path (also via\n"
+        "                      TEMPO_REFERENCE_CACHE=1); results are\n"
+        "                      bit-identical, only slower\n"
         "  --help              this text\n";
 }
 
@@ -227,6 +231,8 @@ parse(const std::vector<std::string> &args)
             options.profile = true;
         } else if (arg == "--reference-translator") {
             options.referenceTranslator = true;
+        } else if (arg == "--reference-cache") {
+            options.referenceCache = true;
         } else {
             bad("unknown option '" + arg + "' (try --help)");
         }
@@ -274,6 +280,7 @@ toConfig(const Options &options)
         cfg.withSubRows(SubRowAlloc::POA, options.subrowDedicated);
 
     cfg.translator.useReferenceTranslator = options.referenceTranslator;
+    cfg.cache.useReferenceCache = options.referenceCache;
     cfg.withShards(options.shards);
 
     if (!options.prefetcher.empty()) {

@@ -70,6 +70,10 @@ struct Options {
      * translation through the functional page-table walk (also forced
      * by TEMPO_REFERENCE_TRANSLATOR). Results are bit-identical. */
     bool referenceTranslator = false;
+    /** Run every cache/TLB tag array on the linear-scan reference
+     * implementation instead of the packed tag-array core (also forced
+     * by TEMPO_REFERENCE_CACHE). Results are bit-identical. */
+    bool referenceCache = false;
     bool help = false;
 };
 

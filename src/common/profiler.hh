@@ -35,14 +35,15 @@ namespace tempo::prof {
 /** Attribution buckets, one per major simulator component. */
 enum class Component : std::uint8_t {
     Scheduler, //!< event-queue machinery + un-attributed simulator code
-    Core,      //!< SimCore reference state machine (TLB, caches, MSHRs)
+    Core,      //!< SimCore reference state machine (TLB, MSHRs)
+    Cache,     //!< cache-hierarchy tag lookups, fills, victim handling
     Walker,    //!< page-table walk chains
     Mc,        //!< memory controller queues, scheduling, completions
     Dram,      //!< DRAM device timing
     Workload,  //!< workload generation (address stream synthesis)
 };
 
-inline constexpr std::size_t kNumComponents = 6;
+inline constexpr std::size_t kNumComponents = 7;
 
 inline const char *
 componentName(Component c)
@@ -50,6 +51,7 @@ componentName(Component c)
     switch (c) {
       case Component::Scheduler: return "scheduler";
       case Component::Core: return "core";
+      case Component::Cache: return "cache";
       case Component::Walker: return "walker";
       case Component::Mc: return "mc";
       case Component::Dram: return "dram";

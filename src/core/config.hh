@@ -53,6 +53,11 @@ struct SystemConfig {
      * by construction, so its knobs stay out of digest() — like the
      * scheduler's useReferenceScheduler. */
     TranslatorConfig translator;
+    /** Tag-array implementation selection (cache/tag_array.hh) for
+     * every SetAssocCache and TLB/MMU-cache array. Both paths produce
+     * identical hit/miss/victim sequences, so this too is
+     * stats-neutral and stays out of digest(). */
+    CacheConfig cache;
     ImpConfig imp;
     StrideConfig stride;
     /** Registry engine selection (prefetch/registry.hh). Empty list =

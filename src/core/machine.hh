@@ -61,7 +61,7 @@ class Machine
   public:
     explicit Machine(const SystemConfig &cfg)
         : config(cfg), dram(cfg.dram), mc(eq, dram, cfg.mc),
-          llc(cfg.caches.llc), os(cfg.os)
+          llc(cfg.caches.llc, cfg.cache), os(cfg.os)
     {
         // TEMPO's LLC prefetch port: prefetched replay lines land in the
         // shared LLC (paper Sec. 3). A dirty victim becomes a DRAM

@@ -114,9 +114,9 @@ SimCore::SimCore(Machine &machine, AppId app,
                  ? std::make_unique<OsMemory>(shardOsConfig(
                        machine.config.os, app, machine.shardApps()))
                  : nullptr),
-      tlb(machine.config.tlb),
-      mmu(machine.config.mmu),
-      caches(machine.config.caches, &machine.llc),
+      tlb(machine.config.tlb, machine.config.cache),
+      mmu(machine.config.mmu, machine.config.cache),
+      caches(machine.config.caches, &machine.llc, machine.config.cache),
       addressSpace(ownOs_ ? *ownOs_ : machine.os, [&] {
           AddressSpaceConfig vm_cfg = machine.config.vm;
           vm_cfg.seed += app * 97; // decorrelate per-app decisions

@@ -3,6 +3,12 @@
  * A small generic set-associative array of 64-bit keys with true LRU,
  * reused by the TLBs and MMU caches. Values are optional per-entry
  * payloads (e.g. the page size of a unified-TLB entry).
+ *
+ * Backed by the packed tag-array core (cache/tag_array.hh) by default;
+ * the pre-packed linear-scan implementation is retained as the
+ * differential-testing oracle behind CacheConfig::useReferenceCache /
+ * the TEMPO_REFERENCE_CACHE env var. Hit/miss/victim sequences are
+ * identical on both paths.
  */
 
 #ifndef TEMPO_VM_ASSOC_ARRAY_HH
@@ -11,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cache/tag_array.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 
@@ -20,7 +27,8 @@ template <typename Payload = std::uint8_t>
 class AssocArray
 {
   public:
-    AssocArray(unsigned entries, unsigned assoc)
+    AssocArray(unsigned entries, unsigned assoc,
+               const CacheConfig &impl = {})
         : assoc_(assoc)
     {
         TEMPO_ASSERT(entries > 0 && assoc > 0, "empty array");
@@ -31,71 +39,98 @@ class AssocArray
             sets_ = 1;
         TEMPO_ASSERT(isPow2(sets_), "set count must be a power of two, "
                      "got ", sets_, " from ", entries, "/", assoc);
-        slots_.resize(static_cast<std::size_t>(sets_) * assoc_);
+        useRef_ = impl.useReferenceCache || envReferenceCache()
+                  || !TagArray::packable(sets_, assoc_);
+        if (useRef_) {
+            slots_.resize(static_cast<std::size_t>(sets_) * assoc_);
+        } else {
+            tags_ = TagArray(sets_, assoc_);
+            payloads_.resize(static_cast<std::size_t>(sets_) * assoc_);
+        }
     }
 
     /** Look up @p key; on hit promotes to MRU and returns the payload. */
     const Payload *
     lookup(std::uint64_t key)
     {
-        Slot *slot = find(key);
-        if (!slot) {
+        if (useRef_) {
+            Slot *slot = find(key);
+            if (!slot) {
+                ++misses_;
+                return nullptr;
+            }
+            slot->lastUse = ++tick_;
+            ++hits_;
+            return &slot->payload;
+        }
+        const unsigned set = setOf(key);
+        const int way = tags_.find(set, key);
+        if (way < 0) {
             ++misses_;
             return nullptr;
         }
-        slot->lastUse = ++tick_;
+        tags_.promote(set, static_cast<unsigned>(way), key);
         ++hits_;
-        return &slot->payload;
+        return &payloads_[static_cast<std::size_t>(set) * assoc_
+                          + static_cast<unsigned>(way)];
     }
 
     /** Presence probe without LRU update or stats. */
     bool
     contains(std::uint64_t key) const
     {
-        return const_cast<AssocArray *>(this)->find(key) != nullptr;
+        if (useRef_)
+            return const_cast<AssocArray *>(this)->find(key) != nullptr;
+        return tags_.find(setOf(key), key) >= 0;
     }
 
     /** Insert (or refresh) @p key with @p payload. */
     void
     insert(std::uint64_t key, const Payload &payload = Payload{})
     {
-        const unsigned set = setOf(key);
-        Slot *victim = nullptr;
-        for (unsigned w = 0; w < assoc_; ++w) {
-            Slot &slot = slots_[static_cast<std::size_t>(set) * assoc_
-                                + w];
-            if (slot.valid && slot.key == key) {
-                slot.payload = payload;
-                slot.lastUse = ++tick_;
-                return;
-            }
-            if (!victim || !slot.valid
-                || (victim->valid && slot.lastUse < victim->lastUse)) {
-                victim = &slot;
-            }
+        if (useRef_) {
+            refInsert(key, payload);
+            return;
         }
-        victim->valid = true;
-        victim->key = key;
-        victim->payload = payload;
-        victim->lastUse = ++tick_;
+        const unsigned set = setOf(key);
+        const int hit = tags_.find(set, key);
+        const unsigned way =
+            hit >= 0 ? static_cast<unsigned>(hit) : tags_.victimWay(set);
+        if (hit >= 0)
+            tags_.promote(set, way, key);
+        else
+            tags_.install(set, way, key, false);
+        payloads_[static_cast<std::size_t>(set) * assoc_ + way] =
+            payload;
     }
 
     /** Remove @p key if present. */
     void
     invalidate(std::uint64_t key)
     {
-        if (Slot *slot = find(key))
-            slot->valid = false;
+        if (useRef_) {
+            if (Slot *slot = find(key))
+                slot->valid = false;
+            return;
+        }
+        const unsigned set = setOf(key);
+        const int way = tags_.find(set, key);
+        if (way >= 0)
+            tags_.invalidateWay(set, static_cast<unsigned>(way));
     }
 
     void
     reset()
     {
-        for (auto &slot : slots_)
-            slot.valid = false;
+        if (useRef_) {
+            for (auto &slot : slots_)
+                slot.valid = false;
+            tick_ = 0;
+        } else {
+            tags_.reset();
+        }
         hits_ = 0;
         misses_ = 0;
-        tick_ = 0;
     }
 
     /** Clear the hit/miss counters, keeping contents (warmup). */
@@ -118,8 +153,10 @@ class AssocArray
     }
 
     unsigned capacity() const { return sets_ * assoc_; }
+    bool usingReference() const { return useRef_; }
 
   private:
+    /** Reference-path slot (array-of-structs, global-tick LRU). */
     struct Slot {
         bool valid = false;
         std::uint64_t key = 0;
@@ -142,10 +179,39 @@ class AssocArray
         return nullptr;
     }
 
+    void
+    refInsert(std::uint64_t key, const Payload &payload)
+    {
+        const unsigned set = setOf(key);
+        Slot *victim = nullptr;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            Slot &slot = slots_[static_cast<std::size_t>(set) * assoc_
+                                + w];
+            if (slot.valid && slot.key == key) {
+                slot.payload = payload;
+                slot.lastUse = ++tick_;
+                return;
+            }
+            if (!victim || !slot.valid
+                || (victim->valid && slot.lastUse < victim->lastUse)) {
+                victim = &slot;
+            }
+        }
+        victim->valid = true;
+        victim->key = key;
+        victim->payload = payload;
+        victim->lastUse = ++tick_;
+    }
+
     unsigned assoc_;
     unsigned sets_;
-    std::vector<Slot> slots_;
-    std::uint64_t tick_ = 0;
+    bool useRef_ = false;
+
+    TagArray tags_;                 //!< packed path
+    std::vector<Payload> payloads_; //!< packed path, set-major
+    std::vector<Slot> slots_;       //!< reference path
+    std::uint64_t tick_ = 0;        //!< reference path LRU clock
+
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };

@@ -4,11 +4,11 @@
 
 namespace tempo {
 
-MmuCache::MmuCache(const MmuCacheConfig &cfg)
+MmuCache::MmuCache(const MmuCacheConfig &cfg, const CacheConfig &impl)
     : cfg_(cfg),
-      l2_(cfg.entriesPerLevel, cfg.assoc),
-      l3_(cfg.entriesPerLevel, cfg.assoc),
-      l4_(cfg.entriesPerLevel, cfg.assoc)
+      l2_(cfg.entriesPerLevel, cfg.assoc, impl),
+      l3_(cfg.entriesPerLevel, cfg.assoc, impl),
+      l4_(cfg.entriesPerLevel, cfg.assoc, impl)
 {
 }
 

@@ -24,7 +24,8 @@ struct MmuCacheConfig {
 class MmuCache
 {
   public:
-    explicit MmuCache(const MmuCacheConfig &cfg);
+    explicit MmuCache(const MmuCacheConfig &cfg,
+                      const CacheConfig &impl = {});
 
     /**
      * Deepest level whose entry is cached for @p vaddr: returns 2, 3, or

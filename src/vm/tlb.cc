@@ -2,12 +2,12 @@
 
 namespace tempo {
 
-Tlb::Tlb(const TlbConfig &cfg)
+Tlb::Tlb(const TlbConfig &cfg, const CacheConfig &impl)
     : cfg_(cfg),
-      l14k_(cfg.l1Entries4K, cfg.l1Assoc4K),
-      l12m_(cfg.l1Entries2M, cfg.l1Assoc2M),
-      l11g_(cfg.l1Entries1G, cfg.l1Assoc1G),
-      l2_(cfg.l2Entries, cfg.l2Assoc)
+      l14k_(cfg.l1Entries4K, cfg.l1Assoc4K, impl),
+      l12m_(cfg.l1Entries2M, cfg.l1Assoc2M, impl),
+      l11g_(cfg.l1Entries1G, cfg.l1Assoc1G, impl),
+      l2_(cfg.l2Entries, cfg.l2Assoc, impl)
 {
 }
 

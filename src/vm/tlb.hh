@@ -38,7 +38,7 @@ struct TlbResult {
 class Tlb
 {
   public:
-    explicit Tlb(const TlbConfig &cfg);
+    explicit Tlb(const TlbConfig &cfg, const CacheConfig &impl = {});
 
     /**
      * Probe for @p vaddr. The L1 sub-TLBs are probed in parallel (one L1

@@ -52,6 +52,7 @@ struct SweepArgs {
     bool compare = false;
     bool profile = false;
     bool referenceTranslator = false;
+    bool referenceCache = false;
     unsigned progressEvery = 0;
     bool serve = false;
     std::string serveAddr; //!< "" = 127.0.0.1:8377
@@ -64,7 +65,7 @@ usage(int status)
         "usage: tempo_sweep --key SECTION.KEY --values V1,V2,...\n"
         "  [--workload NAME] [--refs N] [--warmup N]\n"
         "  [--jobs N] [--shards N] [--json PATH] [--profile]\n"
-        "  [--reference-translator]\n"
+        "  [--reference-translator] [--reference-cache]\n"
         "  [--retries N] [--point-timeout S] [--checkpoint PATH]\n"
         "  [--progress [N]] [--serve [ADDR:PORT]]\n"
         "  [--tempo | --compare]\n"
@@ -151,6 +152,8 @@ parseArgs(int argc, char **argv)
         }
         else if (arg == "--reference-translator")
             args.referenceTranslator = true;
+        else if (arg == "--reference-cache")
+            args.referenceCache = true;
         else if (arg == "--help" || arg == "-h")
             usage(0);
         else
@@ -173,6 +176,7 @@ configFor(const SweepArgs &args, const std::string &value, bool tempo)
     SystemConfig cfg = SystemConfig::skylakeScaled();
     cfg.withTempo(tempo);
     cfg.translator.useReferenceTranslator = args.referenceTranslator;
+    cfg.cache.useReferenceCache = args.referenceCache;
     const std::size_t dot = args.key.find('.');
     const std::string ini = "[" + args.key.substr(0, dot) + "]\n"
         + args.key.substr(dot + 1) + " = " + value + "\n";
